@@ -1,0 +1,163 @@
+//! ATS classification via EasyList/EasyPrivacy (§4.2(2)) and Table 2.
+//!
+//! The lists are rule sets over whole URLs (`bbc.co.uk` is clean,
+//! `bbc.co.uk/analytics` is not), so actual tracking instances are matched
+//! against the full request URL; counting ATS *organizations* relaxes the
+//! match to the base FQDN.
+
+use std::collections::BTreeSet;
+
+use redlight_blocklist::{FilterSet, RequestContext};
+use redlight_net::http::ResourceKind;
+use serde::{Deserialize, Serialize};
+
+use crate::thirdparty::ThirdPartyExtract;
+use redlight_crawler::db::CrawlRecord;
+
+/// The classifier, loaded with both lists.
+pub struct AtsClassifier {
+    filters: FilterSet,
+}
+
+impl AtsClassifier {
+    /// Parses the EasyList + EasyPrivacy snapshots.
+    pub fn from_lists(easylist: &str, easyprivacy: &str) -> Self {
+        let mut filters = FilterSet::new();
+        filters.add_list(easylist);
+        filters.add_list(easyprivacy);
+        AtsClassifier { filters }
+    }
+
+    /// Full-URL matching: an actual instance of tracking.
+    pub fn is_ats_url(&self, url: &str, page_host: &str, request_host: &str, kind: ResourceKind) -> bool {
+        let ctx = RequestContext::new(page_host, request_host, kind);
+        self.filters.matches(url, &ctx).is_blocked()
+    }
+
+    /// Relaxed FQDN matching: the domain belongs to a known ATS
+    /// organization.
+    pub fn is_ats_fqdn(&self, fqdn: &str) -> bool {
+        self.filters.matches_fqdn_relaxed(fqdn)
+    }
+
+    /// Number of loaded rules.
+    pub fn rule_count(&self) -> usize {
+        self.filters.len()
+    }
+}
+
+/// Table 2: first/third-party domain counts for both corpora.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Porn corpus size.
+    pub porn_corpus_size: usize,
+    /// Regular corpus size.
+    pub regular_corpus_size: usize,
+    /// Porn first party.
+    pub porn_first_party: usize,
+    /// Regular first party.
+    pub regular_first_party: usize,
+    /// Porn third party.
+    pub porn_third_party: usize,
+    /// Regular third party.
+    pub regular_third_party: usize,
+    /// Third party intersection.
+    pub third_party_intersection: usize,
+    /// Porn ATS.
+    pub porn_ats: usize,
+    /// Regular ATS.
+    pub regular_ats: usize,
+    /// ATS intersection.
+    pub ats_intersection: usize,
+}
+
+/// ATS FQDNs among a third-party set (relaxed matching).
+pub fn ats_fqdns<'a>(
+    extract: &'a ThirdPartyExtract,
+    classifier: &AtsClassifier,
+) -> BTreeSet<&'a str> {
+    extract
+        .third_party_fqdns
+        .iter()
+        .map(String::as_str)
+        .filter(|f| classifier.is_ats_fqdn(f))
+        .collect()
+}
+
+/// Builds Table 2 from the two main crawls.
+pub fn table2(
+    porn_crawl: &CrawlRecord,
+    porn_extract: &ThirdPartyExtract,
+    regular_crawl: &CrawlRecord,
+    regular_extract: &ThirdPartyExtract,
+    classifier: &AtsClassifier,
+) -> Table2 {
+    let porn_ats: BTreeSet<&str> = ats_fqdns(porn_extract, classifier);
+    let regular_ats: BTreeSet<&str> = ats_fqdns(regular_extract, classifier);
+    Table2 {
+        porn_corpus_size: porn_crawl.success_count(),
+        regular_corpus_size: regular_crawl.success_count(),
+        porn_first_party: porn_extract.first_party_fqdns.len(),
+        regular_first_party: regular_extract.first_party_fqdns.len(),
+        porn_third_party: porn_extract.third_party_fqdns.len(),
+        regular_third_party: regular_extract.third_party_fqdns.len(),
+        third_party_intersection: porn_extract
+            .third_party_fqdns
+            .intersection(&regular_extract.third_party_fqdns)
+            .count(),
+        porn_ats: porn_ats.len(),
+        regular_ats: regular_ats.len(),
+        ats_intersection: porn_ats.intersection(&regular_ats).count(),
+    }
+}
+
+/// Actual tracking instances observed in a crawl: URLs that match the lists
+/// in full, grouped by request FQDN.
+pub fn tracking_instances(crawl: &CrawlRecord, classifier: &AtsClassifier) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for record in crawl.successful() {
+        let Some(final_url) = &record.visit.final_url else {
+            continue;
+        };
+        let page_host = final_url.host().as_str();
+        for req in &record.visit.requests {
+            if req.status.is_none() {
+                continue;
+            }
+            let host = req.url.host().as_str();
+            if classifier.is_ats_url(&req.url.without_fragment(), page_host, host, req.kind) {
+                out.insert(host.to_string());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_matches_url_and_relaxed() {
+        let cls = AtsClassifier::from_lists(
+            "||exoclick.com^\n||bbc.co.uk/analytics\n",
+            "||metrics.io^$third-party\n",
+        );
+        assert!(cls.is_ats_url(
+            "https://exoclick.com/tag/v1.js",
+            "porn.site",
+            "exoclick.com",
+            ResourceKind::Script
+        ));
+        assert!(!cls.is_ats_url(
+            "https://bbc.co.uk/news",
+            "a.com",
+            "bbc.co.uk",
+            ResourceKind::Document
+        ));
+        assert!(cls.is_ats_fqdn("bbc.co.uk"));
+        assert!(cls.is_ats_fqdn("metrics.io"));
+        assert!(!cls.is_ats_fqdn("clean.org"));
+        assert_eq!(cls.rule_count(), 3);
+    }
+}

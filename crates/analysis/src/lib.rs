@@ -1,0 +1,54 @@
+//! # redlight-analysis
+//!
+//! Every analysis of the IMC'19 study, implemented over the measurement
+//! database only — never over simulator ground truth. Each module maps to a
+//! paper section (see DESIGN.md's per-experiment index):
+//!
+//! | module | paper | artifact |
+//! |---|---|---|
+//! | [`thirdparty`] | §4.2(1) | first/third-party classification (FQDN + X.509 + Levenshtein) |
+//! | [`ats`] | §4.2(2) | EasyList/EasyPrivacy classification, Table 2 |
+//! | [`orgs`] | §4.2(3) | parent-company attribution, Fig. 3 |
+//! | [`owners`] | §4.1 | publisher-cluster discovery, Table 1 |
+//! | [`cookies`] | §5.1.1 | ID-cookie pipeline + encoded payloads, Table 4 |
+//! | [`sync`] | §5.1.2 | cookie-synchronization detection, Fig. 4 |
+//! | [`fingerprint`] | §5.1.3 | canvas/font criteria, Table 5 |
+//! | [`webrtc`] | §5.1.4 | WebRTC usage |
+//! | [`https`] | §5.2 | HTTPS posture, Table 6 |
+//! | [`popularity`] | §3, §4.2.2 | Fig. 1 series, Table 3 tiers |
+//! | [`geo`] | §6 | per-country comparison, Table 7 |
+//! | [`malware`] | §5.3, §6.2 | threat-intel aggregation |
+//! | [`consent`] | §7.1 | cookie-banner taxonomy, Table 8 |
+//! | [`agegate`] | §7.2 | age-verification prevalence |
+//! | [`policies`] | §7.3 | policy presence, GDPR mentions, TF-IDF similarity |
+//! | [`monetization`] | §4.1 | subscription/paywall business models |
+//! | [`crossborder`] | §10 (future work) | jurisdiction-leaving identifier flows |
+
+#![warn(missing_docs)]
+
+pub mod agegate;
+pub mod ats;
+pub mod consent;
+pub mod cookies;
+pub mod crossborder;
+pub mod fingerprint;
+pub mod geo;
+pub mod https;
+pub mod malware;
+pub mod monetization;
+pub mod orgs;
+pub mod owners;
+pub mod policies;
+pub mod popularity;
+pub mod sync;
+pub mod thirdparty;
+pub mod util;
+pub mod webrtc;
+
+/// A threat-intel feed the malware analyses query (VirusTotal stand-in).
+/// Implemented by the simulation layer; the analysis only sees detection
+/// counts.
+pub trait ThreatFeed {
+    /// Number of scanners (of 70) flagging `domain`.
+    fn detections(&self, domain: &str) -> u8;
+}

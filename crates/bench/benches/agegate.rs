@@ -1,0 +1,43 @@
+//! §7.2 — age verification across countries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redlight_analysis::agegate;
+use redlight_bench::{criterion as bench_criterion, Fixture};
+use redlight_crawler::selenium::SeleniumCrawler;
+use redlight_net::geoip::Country;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = Fixture::tiny();
+    let top: Vec<String> = f.ranked_domains().into_iter().take(10).collect();
+    let per_country: Vec<_> = [Country::Usa, Country::Uk, Country::Spain, Country::Russia]
+        .into_iter()
+        .map(|country| SeleniumCrawler::new(&f.world, country).crawl(&top))
+        .collect();
+    let cmp = agegate::compare(&per_country);
+    for cg in &cmp.per_country {
+        println!(
+            "§7.2 {}: {}/{} gated ({:.0}%), {} bypassed, {} social-login",
+            cg.country.name(),
+            cg.with_gate,
+            cg.studied,
+            cg.with_gate_pct,
+            cg.bypassed,
+            cg.social_login
+        );
+    }
+    println!(
+        "russia-only {:.0}% (paper 8%), not-in-russia {:.0}% (paper 12%), bypass rate {:.0}%",
+        cmp.russia_only_pct, cmp.not_in_russia_pct, cmp.bypass_rate_pct
+    );
+
+    c.bench_function("agegate/interaction_crawl_top10", |b| {
+        b.iter(|| SeleniumCrawler::new(&f.world, Country::Russia).crawl(black_box(&top)))
+    });
+    c.bench_function("agegate/comparison", |b| {
+        b.iter(|| agegate::compare(black_box(&per_country)))
+    });
+}
+
+criterion_group! { name = benches; config = bench_criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! §3 — semi-supervised corpus compilation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redlight_bench::criterion as bench_criterion;
+use redlight_crawler::corpus::CorpusCompiler;
+use redlight_websim::{World, WorldConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let world = World::build(WorldConfig::tiny(redlight_bench::BENCH_SEED));
+    let report = CorpusCompiler::new(&world).compile();
+    println!(
+        "§3: {} + {} + {} sources → {} candidates → -{} false positives → {} sanitized \
+         (paper: 342 + 22 + 7,735 → 8,099 → -1,256 → 6,843)",
+        report.from_directories.len(),
+        report.from_adult_category.len(),
+        report.from_keywords.len(),
+        report.candidates.len(),
+        report.false_positives.len(),
+        report.sanitized.len(),
+    );
+    println!("manual inspections: {}", report.manual_inspections);
+
+    c.bench_function("corpus/compile", |b| {
+        b.iter(|| CorpusCompiler::new(black_box(&world)).compile())
+    });
+}
+
+criterion_group! { name = benches; config = bench_criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 1 — rank stability of the porn corpus over 2018.
+//!
+//! Prints the regenerated figure (best/median/presence series) and times
+//! the Fig. 1 computation over the longitudinal rank dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redlight_analysis::popularity;
+use redlight_bench::{criterion as bench_criterion, Fixture};
+use redlight_report::figure::{render, Series};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = Fixture::small();
+    let histories: BTreeMap<_, _> = f
+        .world
+        .rank_histories()
+        .into_iter()
+        .filter(|(d, _)| f.corpus.sanitized.contains(d))
+        .collect();
+
+    let fig = popularity::fig1(&histories);
+    let best: Vec<f64> = fig.points.iter().filter_map(|p| p.best.map(|b| b as f64)).collect();
+    let presence: Vec<f64> = fig.points.iter().map(|p| p.presence * 100.0).collect();
+    println!(
+        "{}",
+        render(
+            "Fig. 1 (regenerated)",
+            &[Series::new("best rank", best), Series::new("% days in top-1M", presence)],
+            60,
+        )
+    );
+    println!(
+        "always in top-1M: {} ({:.1}%)   always in top-1k: {}   [paper: 1,103 (16%), 16]",
+        fig.always_top1m, fig.always_top1m_pct, fig.always_top1k
+    );
+
+    c.bench_function("fig1/rank_stability", |b| {
+        b.iter(|| popularity::fig1(black_box(&histories)))
+    });
+}
+
+criterion_group! { name = benches; config = bench_criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 4 + §5.1.2 — cookie-synchronization detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redlight_analysis::sync;
+use redlight_bench::{criterion as bench_criterion, Fixture};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = Fixture::small();
+    let ranked = f.ranked_domains();
+    let report = sync::detect(&f.porn, &ranked, 100);
+    println!(
+        "§5.1.2: syncing on {} sites; {} pairs; {} origins; {} destinations; top-100 {:.0}% — \
+         paper: 2,867; 4,675; 1,120; 727; 58%",
+        report.sites_with_sync,
+        report.pairs.len(),
+        report.origins,
+        report.destinations,
+        report.top_sites_with_sync_pct,
+    );
+    for (pair, n) in report.heavy_pairs(4).into_iter().take(8) {
+        println!("  {:<20} → {:<20} {n}", pair.origin, pair.destination);
+    }
+
+    c.bench_function("fig4/sync_detection", |b| {
+        b.iter(|| sync::detect(black_box(&f.porn), black_box(&ranked), 100))
+    });
+}
+
+criterion_group! { name = benches; config = bench_criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! §7.3 — privacy-policy collection, similarity, disclosure annotation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redlight_analysis::policies;
+use redlight_bench::{criterion as bench_criterion, Fixture};
+use redlight_crawler::selenium::SeleniumCrawler;
+use redlight_net::geoip::Country;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = Fixture::small();
+    let interactions = SeleniumCrawler::new(&f.world, Country::Spain).crawl(&f.corpus.sanitized);
+    let (docs, sanitized_out) = policies::collect(&interactions);
+    let report = policies::report(&docs, sanitized_out, f.corpus.sanitized.len(), usize::MAX);
+    println!(
+        "§7.3: {} policies ({:.1}% of corpus, paper 16%); {} GDPR mentions ({:.0}%, paper 20%); \
+         letters mean {:.0} [{} .. {}] (paper 17,159 [1,088 .. 243,649])",
+        report.with_policy,
+        report.with_policy_pct,
+        report.gdpr_mentions,
+        report.gdpr_pct,
+        report.mean_letters,
+        report.min_letters,
+        report.max_letters,
+    );
+    println!(
+        "similar pairs (TF-IDF ≥ 0.5): {:.1}% of {} (paper: 76% of 1,202,312)",
+        report.similar_pairs_pct, report.pairs_examined
+    );
+
+    c.bench_function("policies/pairwise_tfidf", |b| {
+        b.iter(|| policies::report(black_box(&docs), sanitized_out, f.corpus.sanitized.len(), usize::MAX))
+    });
+    c.bench_function("policies/annotation", |b| {
+        b.iter(|| {
+            docs.iter()
+                .map(|d| policies::annotate(&d.text))
+                .filter(|a| a.discloses_cookies)
+                .count()
+        })
+    });
+}
+
+criterion_group! { name = benches; config = bench_criterion(); targets = bench }
+criterion_main!(benches);

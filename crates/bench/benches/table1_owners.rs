@@ -1,0 +1,55 @@
+//! Table 1 + §4.1 — publisher-cluster discovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redlight_analysis::{owners, policies};
+use redlight_bench::{criterion as bench_criterion, Fixture};
+use redlight_crawler::selenium::SeleniumCrawler;
+use redlight_net::geoip::Country;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = Fixture::small();
+    let interactions = SeleniumCrawler::new(&f.world, Country::Spain).crawl(&f.corpus.sanitized);
+    let (docs, _) = policies::collect(&interactions);
+    let histories: BTreeMap<_, _> = f.world.rank_histories().into_iter().collect();
+
+    let report = owners::discover(
+        &docs,
+        &f.porn,
+        &f.world.whois,
+        &histories,
+        f.corpus.sanitized.len(),
+    );
+    println!(
+        "Table 1: {} companies owning {} sites; {:.1}% of the corpus unattributable \
+         (paper: 24 / 286 / 96%); {} template clusters discarded",
+        report.companies,
+        report.attributed_sites,
+        report.unattributed_pct,
+        report.template_clusters_discarded,
+    );
+    for cluster in report.clusters.iter().take(8) {
+        println!(
+            "  {:<24} {:>2} sites  flagship {:?}",
+            cluster.company,
+            cluster.sites.len(),
+            cluster.most_popular
+        );
+    }
+
+    c.bench_function("table1/owner_discovery", |b| {
+        b.iter(|| {
+            owners::discover(
+                black_box(&docs),
+                black_box(&f.porn),
+                &f.world.whois,
+                &histories,
+                f.corpus.sanitized.len(),
+            )
+        })
+    });
+}
+
+criterion_group! { name = benches; config = bench_criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 3 — third-party presence by popularity interval.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redlight_analysis::{popularity, thirdparty};
+use redlight_bench::{criterion as bench_criterion, Fixture};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = Fixture::small();
+    let histories: BTreeMap<_, _> = f.world.rank_histories().into_iter().collect();
+    let tier_of = popularity::tiers_from_histories(&histories);
+    let extract = thirdparty::extract(&f.porn, true);
+    let t3 = popularity::table3(&extract, &tier_of);
+    for row in &t3.rows {
+        println!(
+            "Table 3 {}: {} sites, {} third-party ({} unique)",
+            row.tier.label(),
+            row.sites,
+            row.third_party_total,
+            row.third_party_unique
+        );
+    }
+    println!(
+        "in all tiers: {:.1}% (paper 3%)   only unpopular: {:.1}% (paper 18%)",
+        t3.in_all_tiers_pct, t3.only_unpopular_pct
+    );
+
+    c.bench_function("table3/tier_breakdown", |b| {
+        b.iter(|| popularity::table3(black_box(&extract), black_box(&tier_of)))
+    });
+}
+
+criterion_group! { name = benches; config = bench_criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table 6 + §5.2 — HTTPS posture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redlight_analysis::{https, popularity};
+use redlight_bench::{criterion as bench_criterion, Fixture};
+use redlight_net::geoip::{Country, VantagePoint};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = Fixture::small();
+    let histories: BTreeMap<_, _> = f.world.rank_histories().into_iter().collect();
+    let tier_of = popularity::tiers_from_histories(&histories);
+    let client_ip = VantagePoint::study_default()
+        .into_iter()
+        .find(|v| v.country == Country::Spain)
+        .unwrap()
+        .client_ip;
+    let report = https::report(&f.porn, &tier_of, client_ip);
+    for row in &report.rows {
+        println!(
+            "Table 6 {}: {} sites {:.0}% https / {} third-party FQDNs {:.0}% https",
+            row.tier.label(),
+            row.sites,
+            row.sites_https_pct,
+            row.third_party_fqdns,
+            row.third_party_https_pct
+        );
+    }
+    println!("paper tiers: 92/63/32/22% sites, 90/48/25/16% third parties");
+    println!(
+        "not fully https: {:.0}% (paper 68%); sensitive cookies in clear: {:.0}% of those (paper 8%)",
+        report.not_fully_https_pct, report.clear_cookie_pct
+    );
+
+    c.bench_function("table6/https_report", |b| {
+        b.iter(|| https::report(black_box(&f.porn), black_box(&tier_of), client_ip))
+    });
+}
+
+criterion_group! { name = benches; config = bench_criterion(); targets = bench }
+criterion_main!(benches);

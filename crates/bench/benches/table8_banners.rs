@@ -1,0 +1,40 @@
+//! Table 8 + §7.1 — cookie-consent banner detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redlight_analysis::consent;
+use redlight_bench::{criterion as bench_criterion, Fixture};
+use redlight_websim::oracle::InspectionOracle;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = Fixture::small();
+    let oracle = InspectionOracle::new(&f.world.sites);
+    let verify = |domain: &str| oracle.confirm_banner(domain);
+    let (breakdown, observations) = consent::breakdown(&f.porn, &verify);
+    println!(
+        "Table 8 (EU vantage): total {:.2}% of sites (paper 4.41%); no-option share {:.0}% (paper 32%)",
+        breakdown.total_pct, breakdown.no_option_share_pct
+    );
+    for (kind, pct) in &breakdown.pct_by_type {
+        println!("  {kind:<14} {pct:.2}%");
+    }
+    println!("{} banners observed, {} rejected by manual verification", observations.len(), breakdown.rejected);
+
+    c.bench_function("table8/banner_detection", |b| {
+        b.iter(|| consent::breakdown(black_box(&f.porn), &verify))
+    });
+    // The DOM classifier on one page is the hot inner loop.
+    if let Some(page) = f
+        .porn
+        .visits
+        .iter()
+        .find(|v| !v.visit.dom_html.is_empty())
+    {
+        c.bench_function("table8/classify_single_page", |b| {
+            b.iter(|| consent::classify_page(black_box(&page.visit.dom_html)))
+        });
+    }
+}
+
+criterion_group! { name = benches; config = bench_criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,275 @@
+//! Indexed filter matching over whole lists.
+//!
+//! [`FilterSet`] holds parsed rules from one or more lists (EasyList +
+//! EasyPrivacy in the study), indexes domain-anchored rules by their anchor's
+//! registrable domain, and answers:
+//!
+//! * [`FilterSet::matches`] — full-URL matching with exception handling, the
+//!   §4.2(2) classification;
+//! * [`FilterSet::matches_fqdn_relaxed`] — the paper's relaxed variant that
+//!   only considers the base FQDN, used to count ATS organizations.
+
+use std::collections::HashMap;
+
+use redlight_net::psl;
+
+use crate::filter::{Filter, RequestContext};
+
+/// Outcome of matching a URL against a filter set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchResult {
+    /// A blocking rule matched (rule text attached).
+    Blocked(String),
+    /// An exception rule overrode a blocking match.
+    Excepted(String),
+    /// Nothing matched.
+    Clean,
+}
+
+impl MatchResult {
+    /// `true` only for [`MatchResult::Blocked`].
+    pub fn is_blocked(&self) -> bool {
+        matches!(self, MatchResult::Blocked(_))
+    }
+}
+
+/// A parsed, indexed collection of filter rules.
+#[derive(Debug, Clone, Default)]
+pub struct FilterSet {
+    /// Domain-anchored rules, indexed by the anchor's registrable domain.
+    by_domain: HashMap<String, Vec<Filter>>,
+    /// Rules without a domain anchor (substring / start-anchored).
+    generic: Vec<Filter>,
+    /// Exception rules (`@@`), all kept together: exceptions are rare.
+    exceptions: Vec<Filter>,
+    /// Number of rule lines parsed.
+    rule_count: usize,
+}
+
+impl FilterSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses a list text and merges its rules (comments, metadata and
+    /// element-hiding rules are skipped). Returns how many rules were added.
+    pub fn add_list(&mut self, text: &str) -> usize {
+        let mut added = 0;
+        for line in text.lines() {
+            if let Ok(f) = Filter::parse(line) {
+                self.add_filter(f);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Adds one parsed filter.
+    pub fn add_filter(&mut self, filter: Filter) {
+        self.rule_count += 1;
+        if filter.exception {
+            self.exceptions.push(filter);
+            return;
+        }
+        match &filter.anchor_domain {
+            Some(anchor) => {
+                let key = psl::registrable_domain(anchor).to_string();
+                self.by_domain.entry(key).or_default().push(filter);
+            }
+            None => self.generic.push(filter),
+        }
+    }
+
+    /// Total number of rules (blocking + exceptions).
+    pub fn len(&self) -> usize {
+        self.rule_count
+    }
+
+    /// `true` when no rules are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.rule_count == 0
+    }
+
+    /// Matches a full URL in context, applying exception rules.
+    pub fn matches(&self, url: &str, ctx: &RequestContext<'_>) -> MatchResult {
+        let blocked = self.first_blocking_match(url, ctx);
+        match blocked {
+            None => MatchResult::Clean,
+            Some(rule) => {
+                for exc in &self.exceptions {
+                    if exc.matches(url, ctx) {
+                        return MatchResult::Excepted(exc.raw.clone());
+                    }
+                }
+                MatchResult::Blocked(rule.raw.clone())
+            }
+        }
+    }
+
+    fn first_blocking_match(&self, url: &str, ctx: &RequestContext<'_>) -> Option<&Filter> {
+        let key = psl::registrable_domain(ctx.request_host);
+        if let Some(rules) = self.by_domain.get(key) {
+            if let Some(f) = rules.iter().find(|f| f.matches(url, ctx)) {
+                return Some(f);
+            }
+        }
+        self.generic.iter().find(|f| f.matches(url, ctx))
+    }
+
+    /// The paper's relaxed matching: is this FQDN covered by a rule's domain
+    /// anchor? Domain-wide rules (`||anchor^` with no path) cover the anchor
+    /// and its subdomains; path rules only flag the anchored host itself —
+    /// a path rule on `cloudfront.net` marks `cloudfront.net` as ATS but
+    /// does not taint every customer's `dxxxx.cloudfront.net` bucket.
+    pub fn matches_fqdn_relaxed(&self, fqdn: &str) -> bool {
+        let fqdn = fqdn.to_ascii_lowercase();
+        let key = psl::registrable_domain(&fqdn);
+        self.by_domain.get(key).is_some_and(|rules| {
+            rules.iter().any(|f| {
+                f.anchor_domain.as_deref().is_some_and(|anchor| {
+                    let domain_wide = f.pattern.is_empty() || f.pattern == "^";
+                    if domain_wide {
+                        fqdn == anchor
+                            || fqdn.ends_with(&format!(".{anchor}"))
+                            || anchor.ends_with(&format!(".{fqdn}"))
+                    } else {
+                        fqdn == anchor
+                    }
+                })
+            })
+        })
+    }
+
+    /// All anchor domains in the set (used to compute list coverage).
+    pub fn anchor_domains(&self) -> impl Iterator<Item = &str> {
+        self.by_domain
+            .values()
+            .flatten()
+            .filter_map(|f| f.anchor_domain.as_deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redlight_net::http::ResourceKind;
+
+    const LIST: &str = r#"
+! EasyList-style test list
+[Adblock Plus 2.0]
+||exoclick.com^
+||exosrv.com^$third-party
+||doublepimp.com^
+||bbc.co.uk/analytics
+/adserver/*$script
+@@||exoclick.com/allowed.js$script
+example.com##.banner
+"#;
+
+    fn set() -> FilterSet {
+        let mut s = FilterSet::new();
+        let added = s.add_list(LIST);
+        assert_eq!(added, 6, "6 URL rules (cosmetic + comments skipped)");
+        s
+    }
+
+    fn ctx<'a>(page: &'a str, req: &'a str) -> RequestContext<'a> {
+        RequestContext::new(page, req, ResourceKind::Script)
+    }
+
+    #[test]
+    fn blocks_anchored_domains() {
+        let s = set();
+        assert!(s
+            .matches(
+                "https://main.exoclick.com/tag.js",
+                &ctx("porn.site", "main.exoclick.com")
+            )
+            .is_blocked());
+        assert_eq!(
+            s.matches("https://clean.cdn.com/lib.js", &ctx("porn.site", "clean.cdn.com")),
+            MatchResult::Clean
+        );
+    }
+
+    #[test]
+    fn exception_overrides_block() {
+        let s = set();
+        let r = s.matches(
+            "https://exoclick.com/allowed.js",
+            &ctx("porn.site", "exoclick.com"),
+        );
+        assert!(matches!(r, MatchResult::Excepted(_)));
+    }
+
+    #[test]
+    fn third_party_rule_spares_first_party() {
+        let s = set();
+        assert!(s
+            .matches(
+                "https://sync.exosrv.com/pixel",
+                &ctx("porn.site", "sync.exosrv.com")
+            )
+            .is_blocked());
+        assert_eq!(
+            s.matches(
+                "https://sync.exosrv.com/pixel",
+                &ctx("www.exosrv.com", "sync.exosrv.com")
+            ),
+            MatchResult::Clean
+        );
+    }
+
+    #[test]
+    fn path_only_rule_needs_the_path() {
+        let s = set();
+        assert!(s
+            .matches("https://bbc.co.uk/analytics/b", &ctx("a.com", "bbc.co.uk"))
+            .is_blocked());
+        assert_eq!(
+            s.matches("https://bbc.co.uk/news", &ctx("a.com", "bbc.co.uk")),
+            MatchResult::Clean
+        );
+    }
+
+    #[test]
+    fn generic_substring_rule() {
+        let s = set();
+        assert!(s
+            .matches("https://x.net/adserver/300.js", &ctx("a.com", "x.net"))
+            .is_blocked());
+        // $script option: images do not match.
+        assert_eq!(
+            s.matches(
+                "https://x.net/adserver/300.gif",
+                &RequestContext::new("a.com", "x.net", ResourceKind::Image)
+            ),
+            MatchResult::Clean
+        );
+    }
+
+    #[test]
+    fn relaxed_fqdn_matching() {
+        let s = set();
+        assert!(s.matches_fqdn_relaxed("exoclick.com"));
+        assert!(s.matches_fqdn_relaxed("sync.exoclick.com"));
+        assert!(s.matches_fqdn_relaxed("EXOSRV.com"));
+        // bbc rule is a path rule anchoring bbc.co.uk: the host itself is
+        // flagged, but sibling subdomains are not.
+        assert!(s.matches_fqdn_relaxed("bbc.co.uk"));
+        assert!(!s.matches_fqdn_relaxed("video.bbc.co.uk"));
+        assert!(!s.matches_fqdn_relaxed("cleancdn.net"));
+    }
+
+    #[test]
+    fn empty_set_is_clean() {
+        let s = FilterSet::new();
+        assert!(s.is_empty());
+        assert_eq!(
+            s.matches("https://anything.com/x", &ctx("a.com", "anything.com")),
+            MatchResult::Clean
+        );
+        assert!(!s.matches_fqdn_relaxed("anything.com"));
+    }
+}

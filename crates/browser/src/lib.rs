@@ -1,0 +1,27 @@
+//! # redlight-browser
+//!
+//! The instrumented browser — this repository's OpenWPM analog.
+//!
+//! A [`Browser`] holds one long-lived session (cookie jar, device profile,
+//! vantage point) against a simulated [`redlight_websim::WebServer`]. A call
+//! to [`Browser::visit`] loads a landing page exactly the way the paper's
+//! crawler does: HTTPS first with HTTP downgrade, redirects followed,
+//! subresources fetched with referrer and cookie headers, scripts executed
+//! in an instrumented engine that records every host-API call (canvas, font
+//! metrics, WebRTC, cookies), and every HTTP exchange logged — producing a
+//! [`page::PageVisit`] record equivalent to OpenWPM's `http_requests`,
+//! `javascript` and `cookies` tables for that visit.
+
+#![warn(missing_docs)]
+
+pub mod browser;
+pub mod canvas;
+pub mod device;
+pub mod engine;
+pub mod instrument;
+pub mod page;
+
+pub use browser::Browser;
+pub use device::DeviceProfile;
+pub use instrument::{CookieObservation, Initiator, JsCall, RequestRecord, SetVia};
+pub use page::PageVisit;

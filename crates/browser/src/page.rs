@@ -1,0 +1,108 @@
+//! The result of one page visit — a visit-scoped slice of what OpenWPM's
+//! database holds.
+
+use redlight_net::url::Url;
+use serde::{Deserialize, Serialize};
+
+use crate::canvas::CanvasActivity;
+use crate::instrument::{CookieObservation, JsCall, RequestRecord};
+
+/// Everything recorded while loading one landing page.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageVisit {
+    /// The URL the crawler asked for.
+    pub requested_url: Url,
+    /// The document URL that finally loaded (after redirects/downgrade).
+    pub final_url: Option<Url>,
+    /// Document loaded with a 2xx.
+    pub success: bool,
+    /// The load hit the crawler's page timeout (§3.1: 120 s).
+    pub timeout: bool,
+    /// HTTPS was attempted but the server only speaks HTTP.
+    pub https_downgraded: bool,
+    /// Every HTTP exchange, in causal order.
+    pub requests: Vec<RequestRecord>,
+    /// Every cookie-set event.
+    pub cookies: Vec<CookieObservation>,
+    /// Every instrumented JS host-API call.
+    pub js_calls: Vec<JsCall>,
+    /// Canvas activity per executed script (`None` = inline), materialized
+    /// from the call stream for the fingerprinting analyses.
+    pub canvas: Vec<(Option<Url>, CanvasActivity)>,
+    /// The document markup as fetched (the "DOM dump").
+    pub dom_html: String,
+    /// Device-dependent screenshot stand-in.
+    pub screenshot_hash: u64,
+}
+
+impl PageVisit {
+    /// An empty failed visit.
+    pub fn failed(requested_url: Url, timeout: bool) -> PageVisit {
+        PageVisit {
+            requested_url,
+            final_url: None,
+            success: false,
+            timeout,
+            https_downgraded: false,
+            requests: Vec::new(),
+            cookies: Vec::new(),
+            js_calls: Vec::new(),
+            canvas: Vec::new(),
+            dom_html: String::new(),
+            screenshot_hash: 0,
+        }
+    }
+
+    /// Distinct hostnames contacted during the visit.
+    pub fn contacted_hosts(&self) -> Vec<&str> {
+        let mut hosts: Vec<&str> = self
+            .requests
+            .iter()
+            .filter(|r| r.status.is_some())
+            .map(|r| r.url.host().as_str())
+            .collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        hosts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::{Initiator, RequestRecord};
+    use redlight_net::http::{Method, ResourceKind, StatusCode};
+
+    fn record(url: &str, ok: bool) -> RequestRecord {
+        RequestRecord {
+            url: Url::parse(url).unwrap(),
+            method: Method::Get,
+            kind: ResourceKind::Image,
+            referrer: None,
+            initiator: Initiator::Markup,
+            status: ok.then_some(StatusCode::OK),
+            content_type: None,
+            cert: None,
+            redirected_to: None,
+        }
+    }
+
+    #[test]
+    fn contacted_hosts_dedupes_and_skips_failures() {
+        let mut visit = PageVisit::failed(Url::parse("https://site.com/").unwrap(), false);
+        visit.requests.push(record("https://a.com/x", true));
+        visit.requests.push(record("https://a.com/y", true));
+        visit.requests.push(record("https://b.net/z", true));
+        visit.requests.push(record("https://dead.example/", false));
+        assert_eq!(visit.contacted_hosts(), vec!["a.com", "b.net"]);
+    }
+
+    #[test]
+    fn failed_visit_shape() {
+        let v = PageVisit::failed(Url::parse("https://x.com/").unwrap(), true);
+        assert!(v.timeout);
+        assert!(!v.success);
+        assert!(v.final_url.is_none());
+        assert!(v.contacted_hosts().is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! The measurement database — this repository's stand-in for OpenWPM's
+//! SQLite store, plus the interaction crawler's records.
+
+use redlight_browser::PageVisit;
+use redlight_net::geoip::Country;
+use serde::{Deserialize, Serialize};
+
+/// Which corpus a crawl covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorpusLabel {
+    /// The pornographic corpus.
+    Porn,
+    /// The regular (reference) corpus.
+    Regular,
+}
+
+/// One site's visit inside a crawl.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteVisitRecord {
+    /// The crawled domain (corpus entry).
+    pub domain: String,
+    /// Visit.
+    pub visit: PageVisit,
+}
+
+/// One crawl: a country × corpus sweep with a single browser session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrawlRecord {
+    /// Country.
+    pub country: Country,
+    /// Corpus.
+    pub corpus: CorpusLabel,
+    /// Visits.
+    pub visits: Vec<SiteVisitRecord>,
+}
+
+impl CrawlRecord {
+    /// Visits whose document loaded successfully.
+    pub fn successful(&self) -> impl Iterator<Item = &SiteVisitRecord> {
+        self.visits.iter().filter(|v| v.visit.success)
+    }
+
+    /// Number of successfully crawled sites.
+    pub fn success_count(&self) -> usize {
+        self.successful().count()
+    }
+}
+
+/// What the interaction (Selenium-style) crawler observed on one site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InteractionRecord {
+    /// Domain.
+    pub domain: String,
+    /// Country.
+    pub country: Country,
+    /// The landing page loaded at all.
+    pub reachable: bool,
+    /// An age-verification mechanism was detected.
+    pub age_gate_detected: bool,
+    /// The crawler clicked through it successfully.
+    pub age_gate_bypassed: bool,
+    /// The gate demands a social-network login (not bypassable).
+    pub social_login_gate: bool,
+    /// Privacy-policy link found on the (post-gate) landing page.
+    pub policy_url: Option<String>,
+    /// Fetched policy text (`None` when the link 404s/errors — the §7.3
+    /// false positives).
+    pub policy_text: Option<String>,
+    /// Landing page text contained account-creation keywords.
+    pub login_signal: bool,
+    /// Landing page text contained premium/subscription keywords.
+    pub premium_signal: bool,
+    /// Text of the premium page, when one was fetched.
+    pub premium_page: Option<String>,
+}
+
+/// The whole study's collected data.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MeasurementDb {
+    /// OpenWPM-style crawls (one per country × corpus).
+    pub crawls: Vec<CrawlRecord>,
+    /// Interaction-crawler records (one per country crawled interactively).
+    pub interactions: Vec<InteractionRecord>,
+}
+
+impl MeasurementDb {
+    /// Empty DB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The crawl for `(country, corpus)`, if recorded.
+    pub fn crawl(&self, country: Country, corpus: CorpusLabel) -> Option<&CrawlRecord> {
+        self.crawls
+            .iter()
+            .find(|c| c.country == country && c.corpus == corpus)
+    }
+
+    /// Interaction records for one country.
+    pub fn interactions_in(&self, country: Country) -> impl Iterator<Item = &InteractionRecord> {
+        self.interactions.iter().filter(move |r| r.country == country)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redlight_net::url::Url;
+
+    #[test]
+    fn crawl_lookup_and_success_counting() {
+        let mut db = MeasurementDb::new();
+        let ok = PageVisit {
+            success: true,
+            ..PageVisit::failed(Url::parse("https://a.com/").unwrap(), false)
+        };
+        let fail = PageVisit::failed(Url::parse("https://b.com/").unwrap(), true);
+        db.crawls.push(CrawlRecord {
+            country: Country::Spain,
+            corpus: CorpusLabel::Porn,
+            visits: vec![
+                SiteVisitRecord {
+                    domain: "a.com".into(),
+                    visit: ok,
+                },
+                SiteVisitRecord {
+                    domain: "b.com".into(),
+                    visit: fail,
+                },
+            ],
+        });
+        let crawl = db.crawl(Country::Spain, CorpusLabel::Porn).unwrap();
+        assert_eq!(crawl.success_count(), 1);
+        assert!(db.crawl(Country::Usa, CorpusLabel::Porn).is_none());
+        assert_eq!(db.interactions_in(Country::Spain).count(), 0);
+    }
+}

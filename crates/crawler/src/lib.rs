@@ -1,0 +1,31 @@
+//! # redlight-crawler
+//!
+//! The study's data-collection layer (paper §3):
+//!
+//! * [`corpus`] — the semi-supervised corpus compilation: three sources
+//!   (specialized directories, the Alexa Adult category, keyword search over
+//!   the 2018 top-1M) plus manual-inspection sanitization;
+//! * [`openwpm`] — the OpenWPM-style crawler: one long-lived browser
+//!   session, landing pages only, 120 s timeout semantics, recording all
+//!   HTTP/cookie/JS instrumentation into the measurement DB;
+//! * [`selenium`] — the Selenium-style interaction crawler: age-gate
+//!   detection and bypass (floating elements + 8-language keywords +
+//!   parent/grandparent verification), privacy-policy retrieval, and
+//!   monetization-signal collection;
+//! * [`db`] — the measurement database (the OpenWPM SQLite stand-in);
+//! * [`parallel`] — a crossbeam worker pool that runs per-country crawls
+//!   concurrently (countries are independent sessions; within a country the
+//!   session is sequential, preserving cookie-sync observability).
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod db;
+pub mod openwpm;
+pub mod parallel;
+pub mod selenium;
+
+pub use corpus::{CorpusCompiler, CorpusReport};
+pub use db::{CrawlRecord, InteractionRecord, MeasurementDb, SiteVisitRecord};
+pub use openwpm::OpenWpmCrawler;
+pub use selenium::SeleniumCrawler;

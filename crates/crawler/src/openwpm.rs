@@ -1,0 +1,120 @@
+//! The OpenWPM-style crawler (paper §3.1).
+//!
+//! One long-lived browser session per crawl — the study deliberately never
+//! restarts the browser between visits so cookie synchronization stays
+//! observable — visiting only each site's landing page, recording every
+//! HTTP exchange, cookie and instrumented JS call. Visits are attempted
+//! HTTPS-first with HTTP downgrade; pages may hit the 120 s timeout.
+
+use redlight_browser::Browser;
+use redlight_net::geoip::Country;
+use redlight_net::url::Url;
+use redlight_websim::server::BrowserKind;
+use redlight_websim::World;
+
+use crate::db::{CorpusLabel, CrawlRecord, SiteVisitRecord};
+
+/// Crawl configuration.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Country.
+    pub country: Country,
+    /// Corpus.
+    pub corpus: CorpusLabel,
+    /// Keep the fetched document markup in the DB (needed for consent-banner
+    /// and owner analyses; dropped for pure-geo sweeps to save memory).
+    pub store_dom: bool,
+}
+
+/// The crawler.
+pub struct OpenWpmCrawler<'w> {
+    world: &'w World,
+    config: CrawlConfig,
+}
+
+impl<'w> OpenWpmCrawler<'w> {
+    /// Creates a crawler for `world` with `config`.
+    pub fn new(world: &'w World, config: CrawlConfig) -> Self {
+        OpenWpmCrawler { world, config }
+    }
+
+    /// Crawls `domains` sequentially in one browser session.
+    pub fn crawl(&self, domains: &[String]) -> CrawlRecord {
+        let ctx = Browser::context_for(self.world, self.config.country, BrowserKind::OpenWpm);
+        let mut browser = Browser::new(self.world, ctx);
+        let mut visits = Vec::with_capacity(domains.len());
+        for domain in domains {
+            let Ok(url) = Url::parse(&format!("https://{domain}/")) else {
+                continue;
+            };
+            let mut visit = browser.visit(&url);
+            if !self.config.store_dom {
+                visit.dom_html = String::new();
+            }
+            visits.push(SiteVisitRecord {
+                domain: domain.clone(),
+                visit,
+            });
+        }
+        CrawlRecord {
+            country: self.config.country,
+            corpus: self.config.corpus,
+            visits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusCompiler;
+    use redlight_websim::WorldConfig;
+
+    #[test]
+    fn crawl_visits_all_domains_and_records_failures() {
+        let world = World::build(WorldConfig::tiny(7));
+        let corpus = CorpusCompiler::new(&world).compile();
+        let crawler = OpenWpmCrawler::new(
+            &world,
+            CrawlConfig {
+                country: Country::Spain,
+                corpus: CorpusLabel::Porn,
+                store_dom: true,
+            },
+        );
+        let crawl = crawler.crawl(&corpus.sanitized);
+        assert_eq!(crawl.visits.len(), corpus.sanitized.len());
+        let expected_success = world
+            .sites
+            .iter()
+            .filter(|s| s.is_porn() && !s.unresponsive && !s.openwpm_timeout)
+            .count();
+        assert_eq!(crawl.success_count(), expected_success);
+        // Timeouts show up as timeout-flagged failures.
+        let timeouts = crawl.visits.iter().filter(|v| v.visit.timeout).count();
+        let expected_timeouts = world
+            .sites
+            .iter()
+            .filter(|s| s.is_porn() && !s.unresponsive && s.openwpm_timeout)
+            .count();
+        assert_eq!(timeouts, expected_timeouts);
+    }
+
+    #[test]
+    fn store_dom_flag_prunes_markup() {
+        let world = World::build(WorldConfig::tiny(7));
+        let corpus = CorpusCompiler::new(&world).compile();
+        let slim = OpenWpmCrawler::new(
+            &world,
+            CrawlConfig {
+                country: Country::Usa,
+                corpus: CorpusLabel::Porn,
+                store_dom: false,
+            },
+        )
+        .crawl(&corpus.sanitized[..4.min(corpus.sanitized.len())]);
+        assert!(slim.visits.iter().all(|v| v.visit.dom_html.is_empty()));
+        // Requests are still recorded.
+        assert!(slim.visits.iter().any(|v| !v.visit.requests.is_empty()));
+    }
+}

@@ -1,0 +1,23 @@
+//! # redlight-html
+//!
+//! A small, dependency-free HTML engine: tokenizer, tree-building parser,
+//! arena DOM and query helpers.
+//!
+//! The crawlers need exactly what OpenWPM/Selenium get from a real browser's
+//! DOM: find `<script>`/`<img>`/`<iframe>`/`<link>` resources to load, find
+//! anchor links whose text or href mentions privacy policies, find floating
+//! elements (consent banners and age gates) via inline styles, walk up to
+//! parent/grandparent elements to verify banner context (paper §3.1), and
+//! extract rendered text.
+
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod parser;
+pub mod query;
+pub mod serialize;
+pub mod style;
+pub mod tokenizer;
+
+pub use dom::{Document, ElementData, Node, NodeId, NodeKind};
+pub use parser::parse;

@@ -1,0 +1,32 @@
+//! Error type shared by the network object model.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating network objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The URL string could not be parsed.
+    InvalidUrl(String),
+    /// The hostname is not a valid FQDN.
+    InvalidHost(String),
+    /// A Set-Cookie header could not be parsed.
+    InvalidCookie(String),
+    /// Base64 / percent-encoding decode failure.
+    Decode(String),
+    /// An HTTP message was malformed.
+    InvalidHttp(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidUrl(s) => write!(f, "invalid url: {s}"),
+            NetError::InvalidHost(s) => write!(f, "invalid host: {s}"),
+            NetError::InvalidCookie(s) => write!(f, "invalid cookie: {s}"),
+            NetError::Decode(s) => write!(f, "decode error: {s}"),
+            NetError::InvalidHttp(s) => write!(f, "invalid http message: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,126 @@
+//! A compact public-suffix list and registrable-domain (eTLD+1) extraction.
+//!
+//! The third-party attribution pipeline constantly maps FQDNs to their
+//! registrable domain (`img100-589.xvideos.com` → `xvideos.com`,
+//! `stats.g.doubleclick.net` → `doubleclick.net`). A full Mozilla PSL is not
+//! needed for the synthetic ecosystem; this embedded list covers every suffix
+//! the simulator generates plus the common multi-label suffixes that make the
+//! algorithm non-trivial (`co.uk`, `com.ru`, `xxx`, …).
+
+/// Multi-label public suffixes known to the embedded list, each expressed as
+/// the suffix string *without* a leading dot.
+const MULTI_LABEL_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.ru", "com.br", "com.au", "co.jp", "co.in",
+    "com.sg", "com.es", "com.mx", "co.za", "com.tr", "com.ar", "net.ru", "org.ru", "in.ua",
+    "com.ua", "com.cn",
+];
+
+/// Single-label suffixes (TLDs) recognized by the embedded list. Unknown
+/// TLDs are still treated as suffixes (the PSL `*` fallback rule), so the
+/// list only needs to exist for documentation and tests.
+const KNOWN_TLDS: &[&str] = &[
+    "com", "net", "org", "info", "biz", "xxx", "sex", "porn", "adult", "tv", "cc", "io", "me",
+    "ru", "uk", "de", "fr", "es", "it", "nl", "eu", "us", "ca", "in", "sg", "jp", "br", "pl",
+    "ro", "pt", "top", "party", "club", "online", "site", "live", "pro", "vip", "red",
+];
+
+/// Returns `true` when `domain` (normalized, lowercase) is exactly a public
+/// suffix.
+pub fn is_public_suffix(domain: &str) -> bool {
+    if MULTI_LABEL_SUFFIXES.contains(&domain) {
+        return true;
+    }
+    !domain.contains('.')
+}
+
+/// Extracts the registrable domain (eTLD+1) from a normalized hostname.
+///
+/// Falls back to the wildcard rule — last label is the public suffix — for
+/// TLDs not in the embedded list, which matches how the Mozilla PSL treats
+/// unknown TLDs.
+///
+/// ```
+/// assert_eq!(redlight_net::psl::registrable_domain("a.b.example.co.uk"), "example.co.uk");
+/// assert_eq!(redlight_net::psl::registrable_domain("stats.g.doubleclick.net"), "doubleclick.net");
+/// assert_eq!(redlight_net::psl::registrable_domain("xvideos.com"), "xvideos.com");
+/// ```
+pub fn registrable_domain(host: &str) -> &str {
+    let labels: Vec<&str> = host.split('.').collect();
+    if labels.len() <= 1 {
+        return host;
+    }
+    // Try the longest matching public suffix first (2 labels, then 1).
+    if labels.len() >= 2 {
+        let two = &host[host.len()
+            - labels[labels.len() - 2].len()
+            - 1
+            - labels[labels.len() - 1].len()..];
+        if MULTI_LABEL_SUFFIXES.contains(&two) {
+            if labels.len() == 2 {
+                // The host *is* a suffix (e.g. "co.uk").
+                return host;
+            }
+            let start = host.len()
+                - labels[labels.len() - 3].len()
+                - 1
+                - two.len();
+            return &host[start..];
+        }
+    }
+    // Single-label suffix: registrable = last two labels.
+    let start = host.len() - labels[labels.len() - 2].len() - 1 - labels[labels.len() - 1].len();
+    &host[start..]
+}
+
+/// Whether the last label of `host` is a TLD the embedded list knows about.
+/// Purely informational; extraction works for unknown TLDs too.
+pub fn has_known_tld(host: &str) -> bool {
+    host.rsplit('.')
+        .next()
+        .is_some_and(|tld| KNOWN_TLDS.contains(&tld))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_label_hosts_are_registrable() {
+        assert_eq!(registrable_domain("pornhub.com"), "pornhub.com");
+        assert_eq!(registrable_domain("sexmex.xxx"), "sexmex.xxx");
+    }
+
+    #[test]
+    fn subdomains_collapse() {
+        assert_eq!(registrable_domain("www.pornhub.com"), "pornhub.com");
+        assert_eq!(registrable_domain("a.b.c.tracker.net"), "tracker.net");
+    }
+
+    #[test]
+    fn multi_label_suffixes() {
+        assert_eq!(registrable_domain("www.bbc.co.uk"), "bbc.co.uk");
+        assert_eq!(registrable_domain("adx.com.ru"), "adx.com.ru");
+        assert_eq!(registrable_domain("deep.sub.adx.com.ru"), "adx.com.ru");
+    }
+
+    #[test]
+    fn suffix_itself_is_returned_verbatim() {
+        assert_eq!(registrable_domain("co.uk"), "co.uk");
+        assert_eq!(registrable_domain("com"), "com");
+    }
+
+    #[test]
+    fn unknown_tld_falls_back_to_wildcard_rule() {
+        assert_eq!(registrable_domain("tracker.weirdtld"), "tracker.weirdtld");
+        assert_eq!(registrable_domain("a.tracker.weirdtld"), "tracker.weirdtld");
+    }
+
+    #[test]
+    fn suffix_predicates() {
+        assert!(is_public_suffix("com"));
+        assert!(is_public_suffix("co.uk"));
+        assert!(!is_public_suffix("example.com"));
+        assert!(has_known_tld("x.party"));
+        assert!(!has_known_tld("x.weirdtld"));
+    }
+}

@@ -1,0 +1,27 @@
+//! # redlight-rankings
+//!
+//! An Alexa-style daily toplist simulation.
+//!
+//! The study uses a longitudinal dataset of Alexa top-1M snapshots covering
+//! all of 2018 as a popularity proxy (§3, Fig. 1): per-site best and median
+//! rank, and the percentage of days each site was indexed. It deliberately
+//! looks at a whole year to smooth out the single-day instability of top
+//! lists (Scheitle et al., IMC'18). This crate models exactly that substrate:
+//!
+//! * [`trajectory`] — a per-site daily rank time series built from a latent
+//!   popularity plus AR(1) noise (ranks churn day to day; unpopular sites
+//!   fall in and out of the top-1M);
+//! * [`stats`] — best/median rank, presence fraction, and the popularity
+//!   tiers (0–1k, 1k–10k, 10k–100k, 100k+) the paper's Tables 3 and 6 group
+//!   by;
+//! * [`category`] — a site categorization service (the paper extracts the 22
+//!   sites Alexa classifies as *Adult*).
+
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod stats;
+pub mod trajectory;
+
+pub use stats::{PopularityTier, RankStats};
+pub use trajectory::{RankHistory, TrajectoryParams, DAYS_IN_YEAR, TOPLIST_SIZE};

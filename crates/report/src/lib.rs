@@ -1,0 +1,13 @@
+//! # redlight-report
+//!
+//! Rendering of study results: ASCII tables matching the paper's layout,
+//! textual figure series, and side-by-side comparison against the values
+//! the paper reports (for EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+
+pub mod figure;
+pub mod paper;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,59 @@
+//! The host-API boundary between scripts and the embedding browser.
+//!
+//! Every dotted call in a script (`document.setCookie`, `canvas.fillText`,
+//! `webrtc.createDataChannel`, `http.beacon`, …) is routed through
+//! [`HostApi::call`]. The instrumented browser implements this trait and
+//! records each call — the direct analog of OpenWPM's `javascript`
+//! instrumentation table.
+
+use crate::value::Value;
+
+/// Host functions exposed to scripts.
+pub trait HostApi {
+    /// Invokes host function `name` with `args`, returning its result.
+    ///
+    /// Unknown functions should return [`Value::Null`] rather than erroring:
+    /// real browsers silently no-op on missing vendor APIs, and tracker
+    /// scripts probe for them.
+    fn call(&mut self, name: &str, args: &[Value]) -> Value;
+}
+
+/// A trivial host that records calls and returns scripted responses; used by
+/// tests and by callers that only need the call trace.
+#[derive(Debug, Default)]
+pub struct CollectingHost {
+    /// `(function name, arguments)` in call order.
+    pub calls: Vec<(String, Vec<Value>)>,
+    /// Optional canned responses: `(function name, value to return)`.
+    pub responses: Vec<(String, Value)>,
+}
+
+impl HostApi for CollectingHost {
+    fn call(&mut self, name: &str, args: &[Value]) -> Value {
+        self.calls.push((name.to_string(), args.to_vec()));
+        self.responses
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_host_records_and_replays() {
+        let mut h = CollectingHost {
+            responses: vec![("navigator.userAgent".into(), Value::Str("Firefox/52".into()))],
+            ..Default::default()
+        };
+        let ua = h.call("navigator.userAgent", &[]);
+        assert_eq!(ua, Value::Str("Firefox/52".into()));
+        let missing = h.call("vendor.mystery", &[Value::Int(1)]);
+        assert_eq!(missing, Value::Null);
+        assert_eq!(h.calls.len(), 2);
+        assert_eq!(h.calls[1].1, vec![Value::Int(1)]);
+    }
+}

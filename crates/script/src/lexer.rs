@@ -1,0 +1,372 @@
+//! Lexer for the mini scripting language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // literals
+    /// Integer literal.
+    Int(i64),
+    /// String literal (escapes resolved).
+    Str(String),
+    /// Identifier (variable or call-path segment).
+    Ident(String),
+    // keywords
+    /// `let` keyword.
+    Let,
+    /// `for` keyword.
+    For,
+    /// `in` keyword.
+    In,
+    /// `if` keyword.
+    If,
+    /// `else` keyword.
+    Else,
+    /// `return` keyword.
+    Return,
+    /// `true` literal.
+    True,
+    /// `false` literal.
+    False,
+    /// `null` literal.
+    Null,
+    // punctuation / operators
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `.` (call-path separator).
+    Dot,
+    /// `..` (range operator).
+    DotDot,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `>`.
+    Gt,
+    /// `<=`.
+    Le,
+    /// `>=`.
+    Ge,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `!`.
+    Bang,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A lexing error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Tokenizes `src`. Line (`//`) comments are skipped.
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            b'{' => {
+                toks.push(Tok::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            b',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            b';' => {
+                toks.push(Tok::Semi);
+                i += 1;
+            }
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    toks.push(Tok::DotDot);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Dot);
+                    i += 1;
+                }
+            }
+            b'+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            b'-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            b'*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            b'/' => {
+                toks.push(Tok::Slash);
+                i += 1;
+            }
+            b'%' => {
+                toks.push(Tok::Percent);
+                i += 1;
+            }
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Eq);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Assign);
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Bang);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            b'&' if bytes.get(i + 1) == Some(&b'&') => {
+                toks.push(Tok::AndAnd);
+                i += 2;
+            }
+            b'|' if bytes.get(i + 1) == Some(&b'|') => {
+                toks.push(Tok::OrOr);
+                i += 2;
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            offset: start,
+                            message: "unterminated string".into(),
+                        });
+                    }
+                    match bytes[i] {
+                        q if q == quote => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            let esc = src[i + 1..].chars().next().ok_or(LexError {
+                                offset: i,
+                                message: "dangling escape".into(),
+                            })?;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                            i += 1 + esc.len_utf8();
+                        }
+                        _ => {
+                            // Consume one UTF-8 scalar.
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&src[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i].parse().map_err(|_| LexError {
+                    offset: start,
+                    message: "integer overflow".into(),
+                })?;
+                toks.push(Tok::Int(n));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                toks.push(match word {
+                    "let" => Tok::Let,
+                    "for" => Tok::For,
+                    "in" => Tok::In,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "return" => Tok::Return,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "null" => Tok::Null,
+                    _ => Tok::Ident(word.to_string()),
+                });
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character {:?}", other as char),
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_statement() {
+        let toks = lex("let x = 1 + 2;").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Let,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(2),
+                Tok::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_dotted_call_and_range() {
+        let toks = lex("canvas.fillText(\"hi\", 0..5)").unwrap();
+        assert!(toks.contains(&Tok::Dot));
+        assert!(toks.contains(&Tok::DotDot));
+        assert!(toks.contains(&Tok::Str("hi".into())));
+    }
+
+    #[test]
+    fn string_escapes_and_quotes() {
+        let toks = lex(r#"'it\'s' "a\nb""#).unwrap();
+        assert_eq!(toks[0], Tok::Str("it's".into()));
+        assert_eq!(toks[1], Tok::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("let x = 1; // set cookie here\nlet y = 2;").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Let).count(), 2);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("a == b != c <= d >= e < f > g && h || !i").unwrap();
+        for t in [
+            Tok::Eq,
+            Tok::Ne,
+            Tok::Le,
+            Tok::Ge,
+            Tok::Lt,
+            Tok::Gt,
+            Tok::AndAnd,
+            Tok::OrOr,
+            Tok::Bang,
+        ] {
+            assert!(toks.contains(&t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = lex("let x = @").unwrap_err();
+        assert_eq!(err.offset, 8);
+        assert!(lex("\"open").is_err());
+    }
+
+    #[test]
+    fn unicode_strings_pass_through() {
+        let toks = lex("'Cwm fjörd 🦀'").unwrap();
+        assert_eq!(toks[0], Tok::Str("Cwm fjörd 🦀".into()));
+    }
+}

@@ -1,0 +1,35 @@
+//! # redlight-script
+//!
+//! A miniature JavaScript-like scripting language with an **instrumented
+//! host-API surface**. Tracker scripts in the synthetic web ecosystem are
+//! written in this language; the instrumented browser interprets them and
+//! records every host-API call, exactly as OpenWPM's JavaScript
+//! instrumentation records calls to `CanvasRenderingContext2D`,
+//! `HTMLCanvasElement`, `measureText`, WebRTC and `document.cookie`
+//! (paper §§3.1, 5.1.3, 5.1.4).
+//!
+//! The language supports variables, arithmetic and string concatenation,
+//! comparisons, `if`/`else`, bounded `for` loops, and dotted host calls like
+//! `canvas.fillText("Cwm fjordbank", 2, 15)`. The interpreter enforces a
+//! step budget so no generated script can hang a crawl.
+//!
+//! ```
+//! use redlight_script::{run, CollectingHost, Value};
+//! let mut host = CollectingHost::default();
+//! run("let n = 0; for i in 0..3 { n = n + i; } host.note(str(n));", &mut host).unwrap();
+//! assert_eq!(host.calls[0].1[0], Value::Str("3".into()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod hostapi;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use hostapi::{CollectingHost, HostApi};
+pub use interp::{run, run_with_budget, ScriptError};
+pub use parser::parse_program;
+pub use value::Value;

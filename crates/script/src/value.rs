@@ -1,0 +1,105 @@
+//! Runtime values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A script runtime value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// The absent value (also what unknown host calls return).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Truthiness: `null`, `false`, `0` and `""` are falsy.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(n) => *n != 0,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// The integer inside, when this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string inside, when this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(Value::Str("x".into()).truthy());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Str("uid".into()).to_string(), "uid");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,132 @@
+//! Levenshtein edit distance and normalized string similarity.
+//!
+//! The study uses the Levenshtein distance between two fully-qualified domain
+//! names to decide whether they belong to the same entity: when the
+//! normalized similarity exceeds `0.7`, the domains are attributed to a
+//! single owner (paper §4.2, heuristic 1). This groups
+//! `doublepimp.com`/`doublepimpssl.com` while keeping `doublepimp.com` and
+//! `doubleclick.net` apart.
+
+/// Computes the Levenshtein (edit) distance between `a` and `b`.
+///
+/// The distance is the minimum number of single-character insertions,
+/// deletions, and substitutions required to transform `a` into `b`.
+/// Operates on Unicode scalar values, not bytes.
+///
+/// Runs in `O(|a|·|b|)` time and `O(min(|a|,|b|))` space.
+///
+/// ```
+/// assert_eq!(redlight_text::levenshtein::distance("kitten", "sitting"), 3);
+/// assert_eq!(redlight_text::levenshtein::distance("", "abc"), 3);
+/// ```
+pub fn distance(a: &str, b: &str) -> usize {
+    // Keep the shorter string on the column axis to minimize the row buffer.
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        if ac.len() <= bc.len() {
+            (ac, bc)
+        } else {
+            (bc, ac)
+        }
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, lc) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            let val = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = val;
+        }
+    }
+    row[short.len()]
+}
+
+/// Normalized similarity in `[0, 1]`: `1 - distance / max(|a|, |b|)`.
+///
+/// Two empty strings are defined to have similarity `1.0`.
+///
+/// ```
+/// let s = redlight_text::levenshtein::similarity("doublepimp.com", "doublepimpssl.com");
+/// assert!(s > 0.7);
+/// let d = redlight_text::levenshtein::similarity("doublepimp.com", "doubleclick.net");
+/// assert!(d < 0.7);
+/// ```
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - distance(a, b) as f64 / max_len as f64
+}
+
+/// Similarity threshold above which the study considers two FQDNs to belong
+/// to the same entity (§4.2).
+pub const SAME_ENTITY_THRESHOLD: f64 = 0.7;
+
+/// Returns `true` when `a` and `b` are similar enough to be attributed to the
+/// same entity under the study's 0.7 threshold.
+pub fn same_entity(a: &str, b: &str) -> bool {
+    similarity(a, b) >= SAME_ENTITY_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_zero_distance() {
+        assert_eq!(distance("exoclick.com", "exoclick.com"), 0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        assert_eq!(distance("", ""), 0);
+        assert_eq!(distance("abc", ""), 3);
+        assert_eq!(distance("", "abcd"), 4);
+    }
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(distance("kitten", "sitting"), 3);
+        assert_eq!(distance("flaw", "lawn"), 2);
+        assert_eq!(distance("gumbo", "gambol"), 2);
+    }
+
+    #[test]
+    fn unicode_chars_count_as_one_edit() {
+        assert_eq!(distance("caf\u{e9}", "cafe"), 1);
+    }
+
+    #[test]
+    fn symmetry() {
+        assert_eq!(distance("abcdef", "azced"), distance("azced", "abcdef"));
+    }
+
+    #[test]
+    fn paper_example_groups_and_separates() {
+        assert!(same_entity("doublepimp.com", "doublepimpssl.com"));
+        assert!(!same_entity("doublepimp.com", "doubleclick.net"));
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(similarity("", ""), 1.0);
+        assert_eq!(similarity("a", "a"), 1.0);
+        assert_eq!(similarity("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn similarity_is_monotonic_in_shared_prefix() {
+        let base = "tracker.example.com";
+        let close = "tracker.example.org";
+        let far = "zzz.unrelated.net";
+        assert!(similarity(base, close) > similarity(base, far));
+    }
+}

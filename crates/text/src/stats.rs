@@ -1,0 +1,86 @@
+//! Small numeric helpers shared by the analysis crates.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Median over a copy of `values`; `None` for an empty slice.
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Linear-interpolation percentile (`p` in `[0, 100]`); `None` when empty.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    let rank = (p / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Some(v[lo] + (v[hi] - v[lo]) * frac)
+    }
+}
+
+/// Integer median of a `u64` slice (lower median for even lengths).
+pub fn median_u64(values: &[u64]) -> Option<u64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    Some(v[(v.len() - 1) / 2])
+}
+
+/// Percentage `part / whole * 100`, `0.0` when `whole == 0`.
+pub fn pct(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), Some(10.0));
+        assert_eq!(percentile(&v, 100.0), Some(40.0));
+        assert_eq!(percentile(&v, 50.0), Some(25.0));
+    }
+
+    #[test]
+    fn median_u64_lower_for_even() {
+        assert_eq!(median_u64(&[4, 1, 3, 2]), Some(2));
+        assert_eq!(median_u64(&[5]), Some(5));
+        assert_eq!(median_u64(&[]), None);
+    }
+
+    #[test]
+    fn pct_handles_zero_whole() {
+        assert_eq!(pct(1, 0), 0.0);
+        assert_eq!(pct(1, 4), 25.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Lightweight tokenizers shared by the TF-IDF model and the keyword
+//! detectors.
+
+/// Splits `text` into lowercase word tokens.
+///
+/// A token is a maximal run of alphanumeric characters; everything else
+/// (punctuation, whitespace, markup leftovers) is a separator. Tokens shorter
+/// than two characters are dropped, matching what the study's policy
+/// similarity computation needs (single letters carry no signal).
+pub fn words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            if cur.chars().count() >= 2 {
+                out.push(std::mem::take(&mut cur));
+            } else {
+                cur.clear();
+            }
+        }
+    }
+    if cur.chars().count() >= 2 {
+        out.push(cur);
+    }
+    out
+}
+
+/// Counts the number of letters (alphabetic characters) in `text`.
+///
+/// The paper reports privacy-policy lengths in letters (§7.3: shortest 1,088,
+/// longest 243,649, mean 17,159), so the analysis needs the same measure.
+pub fn letter_count(text: &str) -> usize {
+    text.chars().filter(|c| c.is_alphabetic()).count()
+}
+
+/// Returns `true` when `haystack` contains `needle` case-insensitively.
+///
+/// Both strings are lowercased with full Unicode case folding before the
+/// substring scan; used by all keyword detectors (consent buttons, policy
+/// links, subscription signals).
+pub fn contains_ci(haystack: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    haystack.to_lowercase().contains(&needle.to_lowercase())
+}
+
+/// Counts distinct characters in `text` (used by the canvas-fingerprinting
+/// heuristic: scripts drawing text with more than 10 distinct characters).
+pub fn distinct_chars(text: &str) -> usize {
+    let mut seen: Vec<char> = text.chars().collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_lowercases() {
+        assert_eq!(
+            words("We value your Privacy! Take some cookies."),
+            vec!["we", "value", "your", "privacy", "take", "some", "cookies"]
+        );
+    }
+
+    #[test]
+    fn drops_single_char_tokens() {
+        assert_eq!(words("a b cd"), vec!["cd"]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(words("").is_empty());
+        assert!(words("!!! ???").is_empty());
+    }
+
+    #[test]
+    fn letter_count_ignores_digits_and_punct() {
+        assert_eq!(letter_count("abc 123 d.e"), 5);
+    }
+
+    #[test]
+    fn contains_ci_works_across_case() {
+        assert!(contains_ci("PRIVACY Policy", "privacy"));
+        assert!(contains_ci("política de privacidad", "Privacidad"));
+        assert!(!contains_ci("terms of service", "privacy"));
+        assert!(contains_ci("anything", ""));
+    }
+
+    #[test]
+    fn distinct_chars_counts_unique() {
+        assert_eq!(distinct_chars("aabbcc"), 3);
+        assert_eq!(distinct_chars(""), 0);
+        // 26 distinct letters (the pangram) plus the space character.
+        assert_eq!(distinct_chars("Cwm fjordbank glyphs vext quiz"), 27);
+    }
+}

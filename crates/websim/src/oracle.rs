@@ -1,0 +1,122 @@
+//! The manual-inspection oracle.
+//!
+//! The paper's pipeline includes several **human** steps: manually
+//! inspecting screenshots/DOMs to remove corpus false positives (§3),
+//! manually verifying that a DOM element really is a cookie banner (§7.1),
+//! and manually labeling subscription models as free vs paid (§4.1). The
+//! oracle answers those questions from ground truth, playing the human's
+//! role. Every call is counted so experiments can report how much "manual
+//! effort" they consumed — and nothing outside this module may read ground
+//! truth on behalf of an analysis.
+
+use std::cell::Cell;
+
+use crate::sitegen::{Site, SiteKind};
+
+/// Labels the §4.1 manual subscription inspection produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscriptionLabel {
+    /// Content unlocks after free registration.
+    Free,
+    /// Content sits behind a paywall.
+    Paid,
+}
+
+/// The inspection oracle over a world's sites.
+pub struct InspectionOracle<'w> {
+    sites: &'w [Site],
+    queries: Cell<usize>,
+}
+
+impl<'w> InspectionOracle<'w> {
+    /// Creates an oracle over the site table.
+    pub fn new(sites: &'w [Site]) -> Self {
+        InspectionOracle {
+            sites,
+            queries: Cell::new(0),
+        }
+    }
+
+    fn bump(&self) {
+        self.queries.set(self.queries.get() + 1);
+    }
+
+    /// Number of manual inspections performed so far.
+    pub fn manual_inspections(&self) -> usize {
+        self.queries.get()
+    }
+
+    fn find(&self, domain: &str) -> Option<&Site> {
+        self.sites.iter().find(|s| s.domain == domain)
+    }
+
+    /// §3 sanitization: "is this screenshot/DOM actually pornographic?"
+    /// Unresponsive sites cannot be confirmed and count as false positives.
+    pub fn is_porn_content(&self, domain: &str) -> bool {
+        self.bump();
+        self.find(domain)
+            .is_some_and(|s| matches!(s.kind, SiteKind::Porn) && !s.unresponsive)
+    }
+
+    /// §7.1 banner verification: "is this floating element really a cookie
+    /// banner?" — the screenshot check after DOM detection.
+    pub fn confirm_banner(&self, domain: &str) -> bool {
+        self.bump();
+        self.find(domain).is_some_and(|s| s.banner.is_some())
+    }
+
+    /// §4.1 monetization labeling: free vs paid subscription.
+    pub fn label_subscription(&self, domain: &str) -> Option<SubscriptionLabel> {
+        self.bump();
+        let site = self.find(domain)?;
+        if !site.premium {
+            return None;
+        }
+        Some(if site.premium_paid {
+            SubscriptionLabel::Paid
+        } else {
+            SubscriptionLabel::Free
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{catalog, config::WorldConfig, sitegen};
+
+    #[test]
+    fn oracle_answers_and_counts() {
+        let config = WorldConfig::tiny(31);
+        let cat = catalog::build(&config);
+        let pop = sitegen::generate(&config, &cat);
+        let oracle = InspectionOracle::new(&pop.sites);
+
+        let porn = pop.sites.iter().find(|s| s.is_porn() && !s.unresponsive).unwrap();
+        let fp = pop
+            .sites
+            .iter()
+            .find(|s| matches!(s.kind, SiteKind::FalsePositive(_)))
+            .unwrap();
+        assert!(oracle.is_porn_content(&porn.domain));
+        assert!(!oracle.is_porn_content(&fp.domain));
+        assert!(!oracle.is_porn_content("no-such-site.example"));
+        assert_eq!(oracle.manual_inspections(), 3);
+    }
+
+    #[test]
+    fn subscription_labels_follow_ground_truth() {
+        let config = WorldConfig::small(31);
+        let cat = catalog::build(&config);
+        let pop = sitegen::generate(&config, &cat);
+        let oracle = InspectionOracle::new(&pop.sites);
+        let premium = pop.sites.iter().find(|s| s.premium).expect("premium site");
+        assert!(oracle.label_subscription(&premium.domain).is_some());
+        let plain = pop
+            .sites
+            .iter()
+            .find(|s| s.is_porn() && !s.premium)
+            .unwrap();
+        assert_eq!(oracle.label_subscription(&plain.domain), None);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: run the full study end-to-end at a reduced scale and print
+//! every table and figure, plus a paper-vs-measured comparison for the
+//! headline results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use redlight::report::paper;
+use redlight::{Study, StudyConfig};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    // A ~20×-scaled-down world: ~340 porn sites, ~480 regular sites,
+    // six-country crawl. The full paper-scale study is
+    // `StudyConfig::paper_scale(seed)` (see the `reproduce` binary).
+    let results = Study::run(StudyConfig::small(42));
+    eprintln!("study completed in {:?}", t0.elapsed());
+
+    println!("{}", results.render_summary());
+
+    // Headline shape checks against the paper's published values. At this
+    // reduced scale the percentages should already line up; absolute counts
+    // scale with the world size.
+    let rows = vec![
+        paper::compare("fig3.exoclick_pct", exo_pct(&results)),
+        paper::compare(
+            "cookies.sites_pct",
+            results.cookie_stats.sites_with_cookies_pct,
+        ),
+        paper::compare(
+            "cookies.third_party_sites_pct",
+            results.cookie_stats.sites_with_third_party_pct,
+        ),
+        paper::compare("policies.with_policy_pct", results.policies.with_policy_pct),
+        paper::compare(
+            "policies.similar_pairs_pct",
+            results.policies.similar_pairs_pct,
+        ),
+        paper::compare("table8.eu_total_pct", results.banners_eu.total_pct),
+    ];
+    println!("{}", paper::render_comparisons("Headline shape checks", &rows));
+}
+
+fn exo_pct(results: &redlight::StudyResults) -> f64 {
+    results
+        .fig3_porn
+        .iter()
+        .find(|o| o.organization == "ExoClick")
+        .map(|o| o.fraction * 100.0)
+        .unwrap_or(0.0)
+}

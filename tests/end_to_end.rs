@@ -1,0 +1,146 @@
+//! End-to-end shape test: run the reduced-scale study and check every
+//! headline percentage against the paper's published values (percentages
+//! are scale-invariant; absolute counts are checked proportionally).
+
+use redlight::report::paper;
+use redlight::{Study, StudyConfig, StudyResults};
+
+fn org_pct(results: &StudyResults, org: &str) -> f64 {
+    results
+        .fig3_porn
+        .iter()
+        .find(|o| o.organization == org)
+        .map(|o| o.fraction * 100.0)
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn small_scale_study_matches_paper_shape() {
+    let results = Study::run(StudyConfig::small(42));
+
+    let checks = vec![
+        // Fig. 1 — rank stability.
+        paper::compare("fig1.always_top1m_pct", results.fig1.always_top1m_pct),
+        // Fig. 3 — organization prevalence.
+        paper::compare("fig3.alphabet_pct", org_pct(&results, "Alphabet")),
+        paper::compare("fig3.exoclick_pct", org_pct(&results, "ExoClick")),
+        paper::compare("fig3.cloudflare_pct", org_pct(&results, "Cloudflare")),
+        // §5.1.1 cookies.
+        paper::compare(
+            "cookies.sites_pct",
+            results.cookie_stats.sites_with_cookies_pct,
+        ),
+        paper::compare(
+            "cookies.third_party_sites_pct",
+            results.cookie_stats.sites_with_third_party_pct,
+        ),
+        // §5.2 HTTPS by tier.
+        paper::compare(
+            "table6.top1k_sites_pct",
+            results.https.rows[0].sites_https_pct,
+        ),
+        paper::compare(
+            "table6.to10k_sites_pct",
+            results.https.rows[1].sites_https_pct,
+        ),
+        paper::compare(
+            "table6.to100k_sites_pct",
+            results.https.rows[2].sites_https_pct,
+        ),
+        paper::compare(
+            "table6.beyond_sites_pct",
+            results.https.rows[3].sites_https_pct,
+        ),
+        // §7.3 policies.
+        paper::compare("policies.with_policy_pct", results.policies.with_policy_pct),
+        paper::compare(
+            "policies.similar_pairs_pct",
+            results.policies.similar_pairs_pct,
+        ),
+        paper::compare("policies.gdpr_pct", results.policies.gdpr_pct),
+        // §4.1 ownership / monetization.
+        paper::compare(
+            "owners.unattributed_pct",
+            results.ownership.unattributed_pct,
+        ),
+        paper::compare(
+            "monetization.subscription_pct",
+            results.monetization.with_subscription_pct,
+        ),
+        // §5.1.3 fingerprinting script attribution.
+        paper::compare(
+            "fp.third_party_script_pct",
+            results.fingerprint.third_party_script_pct,
+        ),
+    ];
+
+    let failures: Vec<String> = checks
+        .iter()
+        .filter(|c| !c.within_tolerance)
+        .map(|c| format!("{}: paper {} vs measured {:.2}", c.key, c.paper, c.measured))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "shape drift beyond tolerance:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn corpus_arithmetic_matches_section3_exactly() {
+    // §3's accounting is deterministic in the config, so at small scale the
+    // union/sanitization identities must hold exactly.
+    let results = Study::run(StudyConfig::tiny(7));
+    let c = &results.corpus;
+    assert_eq!(
+        c.candidates,
+        c.from_directories + c.from_adult_category + c.from_keywords,
+        "three disjoint sources"
+    );
+    assert_eq!(c.candidates, c.sanitized + c.false_positives);
+    assert!(c.manual_inspections <= c.candidates);
+}
+
+#[test]
+fn key_invariants_hold_across_results() {
+    let results = Study::run(StudyConfig::tiny(99));
+
+    // The ID filter can only shrink the cookie population.
+    let s = &results.cookie_stats;
+    assert!(s.id_cookies <= s.total_cookies);
+    assert!(s.third_party_id_cookies <= s.id_cookies);
+    assert!(s.ip_cookies <= s.id_cookies);
+
+    // Sync pairs connect distinct registrable domains.
+    for pair in results.sync.pairs.keys() {
+        assert_ne!(pair.origin, pair.destination);
+    }
+
+    // HTTPS monotonicity: popularity correlates with HTTPS adoption.
+    let rows = &results.https.rows;
+    assert!(rows[0].sites_https_pct >= rows[3].sites_https_pct);
+
+    // Banner totals are the sum of the type breakdown.
+    let eu_sum: f64 = results.banners_eu.pct_by_type.values().sum();
+    assert!((eu_sum - results.banners_eu.total_pct).abs() < 1e-6);
+
+    // Geo rows exist for every crawled country.
+    assert_eq!(results.table7.rows.len(), 3, "tiny config crawls 3 countries");
+
+    // Table 3 unique counts can never exceed totals.
+    for row in &results.table3.rows {
+        assert!(row.third_party_unique <= row.third_party_total);
+    }
+}
+
+#[test]
+fn eu_banner_rate_is_at_least_usa_rate() {
+    // Geo-fenced consent only ever ADDS banners for EU visitors (Table 8).
+    let results = Study::run(StudyConfig::small(2024));
+    assert!(
+        results.banners_eu.total_pct >= results.banners_usa.total_pct - 1e-9,
+        "EU {} < USA {}",
+        results.banners_eu.total_pct,
+        results.banners_usa.total_pct
+    );
+}

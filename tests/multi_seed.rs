@@ -1,0 +1,75 @@
+//! Seed-robustness: structural invariants must hold for ANY seed, not just
+//! the calibrated defaults (tolerance-based shape checks live in
+//! `end_to_end.rs`; these are the never-break guarantees).
+
+use redlight::{Study, StudyConfig};
+
+#[test]
+fn invariants_hold_across_seeds() {
+    for seed in [1u64, 1337, 0xDEAD_BEEF, 987654321] {
+        let results = Study::run(StudyConfig::tiny(seed));
+        let tag = format!("seed {seed}");
+
+        // §3 accounting identities.
+        let c = &results.corpus;
+        assert_eq!(
+            c.candidates,
+            c.from_directories + c.from_adult_category + c.from_keywords,
+            "{tag}: disjoint sources"
+        );
+        assert_eq!(c.candidates, c.sanitized + c.false_positives, "{tag}");
+
+        // Cookie funnel monotonicity.
+        let s = &results.cookie_stats;
+        assert!(s.id_cookies <= s.total_cookies, "{tag}");
+        assert!(s.third_party_id_cookies <= s.id_cookies, "{tag}");
+        assert!(s.ip_cookies <= s.id_cookies, "{tag}");
+        assert!(
+            (0.0..=100.0).contains(&s.top100_cookie_site_pct),
+            "{tag}: top-100 coverage is a percentage"
+        );
+
+        // Fingerprinting: the font rule fires at most on the single
+        // ThreatMetrix-analog script, and canvas services are a subset of
+        // canvas scripts' hosts.
+        assert!(results.fingerprint.font_scripts.len() <= 1, "{tag}");
+        assert!(
+            results.fingerprint.canvas_services.len()
+                <= results.fingerprint.canvas_scripts.len().max(1),
+            "{tag}"
+        );
+
+        // HTTPS tiers are populated and percentages bounded.
+        assert_eq!(results.https.rows.len(), 4, "{tag}");
+        for row in &results.https.rows {
+            assert!((0.0..=100.0).contains(&row.sites_https_pct), "{tag}");
+        }
+
+        // Geo: the Spanish row always exists and the union dominates rows.
+        assert!(results
+            .table7
+            .rows
+            .iter()
+            .any(|r| r.country == redlight::net::geoip::Country::Spain));
+        for row in &results.table7.rows {
+            assert!(row.fqdns <= results.table7.total_fqdns, "{tag}");
+            assert!(row.unique_ats <= row.ats, "{tag}");
+        }
+
+        // Compliance: banner totals and gate percentages stay bounded.
+        assert!((0.0..=100.0).contains(&results.banners_eu.total_pct), "{tag}");
+        assert!(results.policies.with_policy <= c.sanitized, "{tag}");
+
+        // The ownership report never attributes more sites than exist and
+        // the flagship analog is always discoverable.
+        assert!(results.ownership.attributed_sites <= c.sanitized, "{tag}");
+        assert!(
+            results
+                .ownership
+                .clusters
+                .iter()
+                .any(|cl| cl.company == "MindGeek"),
+            "{tag}: the pornhub-analog cluster must be attributed"
+        );
+    }
+}
