@@ -49,8 +49,7 @@ pub struct AgeGateComparison {
 pub fn country_stats(records: &[&InteractionRecord]) -> CountryGates {
     let country = records.first().map(|r| r.country).unwrap_or(Country::Spain);
     let studied = records.len();
-    let gated: Vec<&&InteractionRecord> =
-        records.iter().filter(|r| r.age_gate_detected).collect();
+    let gated: Vec<&&InteractionRecord> = records.iter().filter(|r| r.age_gate_detected).collect();
     CountryGates {
         country,
         studied,
@@ -81,10 +80,7 @@ pub fn compare(per_country: &[Vec<InteractionRecord>]) -> AgeGateComparison {
         .into_iter()
         .flat_map(gated_in)
         .collect();
-    let studied = per_country
-        .first()
-        .map(|v| v.len())
-        .unwrap_or(0);
+    let studied = per_country.first().map(|v| v.len()).unwrap_or(0);
 
     let total_gates: usize = stats.iter().map(|s| s.with_gate).sum();
     let total_social: usize = stats.iter().map(|s| s.social_login).sum();
@@ -93,7 +89,10 @@ pub fn compare(per_country: &[Vec<InteractionRecord>]) -> AgeGateComparison {
     AgeGateComparison {
         russia_only_pct: pct(russia.difference(&elsewhere).count(), studied.max(1)),
         not_in_russia_pct: pct(elsewhere.difference(&russia).count(), studied.max(1)),
-        bypass_rate_pct: pct(total_bypassed, total_gates.saturating_sub(total_social).max(1)),
+        bypass_rate_pct: pct(
+            total_bypassed,
+            total_gates.saturating_sub(total_social).max(1),
+        ),
         per_country: stats,
     }
 }
@@ -120,12 +119,15 @@ pub fn rta_prevalence(crawl: &CrawlRecord) -> RtaReport {
         }
         checked += 1;
         let doc = redlight_html::parser::parse(&record.visit.dom_html);
-        let labeled = redlight_html::query::by_tag(&doc, "meta").into_iter().any(|id| {
-            doc.element(id).is_some_and(|e| {
-                e.attr("name").is_some_and(|n| n.eq_ignore_ascii_case("rating"))
-                    && e.attr("content").is_some_and(|c| c.contains("RTA-"))
-            })
-        });
+        let labeled = redlight_html::query::by_tag(&doc, "meta")
+            .into_iter()
+            .any(|id| {
+                doc.element(id).is_some_and(|e| {
+                    e.attr("name")
+                        .is_some_and(|n| n.eq_ignore_ascii_case("rating"))
+                        && e.attr("content").is_some_and(|c| c.contains("RTA-"))
+                })
+            });
         if labeled {
             with_label += 1;
         }
@@ -141,7 +143,13 @@ pub fn rta_prevalence(crawl: &CrawlRecord) -> RtaReport {
 mod tests {
     use super::*;
 
-    fn rec(domain: &str, country: Country, gate: bool, bypassed: bool, social: bool) -> InteractionRecord {
+    fn rec(
+        domain: &str,
+        country: Country,
+        gate: bool,
+        bypassed: bool,
+        social: bool,
+    ) -> InteractionRecord {
         InteractionRecord {
             domain: domain.into(),
             country,

@@ -29,7 +29,13 @@ impl AtsClassifier {
     }
 
     /// Full-URL matching: an actual instance of tracking.
-    pub fn is_ats_url(&self, url: &str, page_host: &str, request_host: &str, kind: ResourceKind) -> bool {
+    pub fn is_ats_url(
+        &self,
+        url: &str,
+        page_host: &str,
+        request_host: &str,
+        kind: ResourceKind,
+    ) -> bool {
         let ctx = RequestContext::new(page_host, request_host, kind);
         self.filters.matches(url, &ctx).is_blocked()
     }

@@ -60,7 +60,9 @@ pub fn classify_page(html: &str) -> Option<(BannerType, String)> {
         let mut sliders = 0usize;
         let mut checkboxes = 0usize;
         for node in doc.subtree(id) {
-            let Some(el) = doc.element(node) else { continue };
+            let Some(el) = doc.element(node) else {
+                continue;
+            };
             match el.tag.as_str() {
                 "button" => {
                     if lang::matches_affirmative(&doc.text_content(node)) {
@@ -150,7 +152,10 @@ pub fn breakdown(
         (label(k).to_string(), pct(n, crawled.max(1)))
     })
     .collect();
-    let no_option = counts.get(label(BannerType::NoOption)).copied().unwrap_or(0);
+    let no_option = counts
+        .get(label(BannerType::NoOption))
+        .copied()
+        .unwrap_or(0);
 
     (
         BannerBreakdown {

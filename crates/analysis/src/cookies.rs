@@ -187,7 +187,7 @@ pub fn stats(crawl: &CrawlRecord, rows: &[CookieRow], client_ip: Ipv4Addr) -> Co
             .insert(r.site.as_str());
     }
     let mut pair_sites: Vec<&BTreeSet<&str>> = by_pair.values().collect();
-    pair_sites.sort_by(|a, b| b.len().cmp(&a.len()));
+    pair_sites.sort_by_key(|sites| std::cmp::Reverse(sites.len()));
     let mut covered: BTreeSet<&str> = BTreeSet::new();
     for sites in pair_sites.iter().take(100) {
         covered.extend(sites.iter());
@@ -206,7 +206,11 @@ pub fn stats(crawl: &CrawlRecord, rows: &[CookieRow], client_ip: Ipv4Addr) -> Co
             .iter()
             .filter(|r| r.value.chars().count() > 1_000)
             .count(),
-        max_value_len: rows.iter().map(|r| r.value.chars().count()).max().unwrap_or(0),
+        max_value_len: rows
+            .iter()
+            .map(|r| r.value.chars().count())
+            .max()
+            .unwrap_or(0),
         third_party_id_cookies: third_id.len(),
         third_party_domains: third_domains.len(),
         sites_with_third_party_pct: pct(third_sites.len(), crawled),

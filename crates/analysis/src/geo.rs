@@ -119,12 +119,7 @@ pub struct Table7 {
 /// Compares the per-country digests (Table 7). `regular_fqdns` is the
 /// third-party set of the regular-web reference crawl.
 pub fn table7(summaries: &[GeoSummary], regular_fqdns: &BTreeSet<String>) -> Table7 {
-    let count_in = |fqdn: &str| {
-        summaries
-            .iter()
-            .filter(|s| s.fqdns.contains(fqdn))
-            .count()
-    };
+    let count_in = |fqdn: &str| summaries.iter().filter(|s| s.fqdns.contains(fqdn)).count();
     let rows: Vec<Table7Row> = summaries
         .iter()
         .map(|s| {

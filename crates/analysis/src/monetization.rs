@@ -63,11 +63,9 @@ pub fn report(
     interactions: &[InteractionRecord],
     manual_label: Option<ManualLabel<'_>>,
 ) -> MonetizationReport {
-    let reachable: Vec<&InteractionRecord> =
-        interactions.iter().filter(|r| r.reachable).collect();
+    let reachable: Vec<&InteractionRecord> = interactions.iter().filter(|r| r.reachable).collect();
     let with_accounts = reachable.iter().filter(|r| r.login_signal).count();
-    let subs: Vec<&&InteractionRecord> =
-        reachable.iter().filter(|r| r.premium_signal).collect();
+    let subs: Vec<&&InteractionRecord> = reachable.iter().filter(|r| r.premium_signal).collect();
 
     let mut paid = 0usize;
     let mut overrides = 0usize;

@@ -106,11 +106,7 @@ impl<'a> OrgAttributor<'a> {
 
     /// Fig. 3: per-organization prevalence — the fraction of successfully
     /// crawled sites embedding at least one of the org's services.
-    pub fn prevalence(
-        &self,
-        extract: &ThirdPartyExtract,
-        crawl_size: usize,
-    ) -> Vec<OrgPrevalence> {
+    pub fn prevalence(&self, extract: &ThirdPartyExtract, crawl_size: usize) -> Vec<OrgPrevalence> {
         let mut by_org: BTreeMap<String, BTreeSet<&str>> = BTreeMap::new();
         for (site, parties) in &extract.per_site {
             for fqdn in &parties.third {
@@ -127,7 +123,11 @@ impl<'a> OrgAttributor<'a> {
                 fraction: crate::util::pct(sites.len(), crawl_size) / 100.0,
             })
             .collect();
-        out.sort_by(|a, b| b.sites.cmp(&a.sites).then(a.organization.cmp(&b.organization)));
+        out.sort_by(|a, b| {
+            b.sites
+                .cmp(&a.sites)
+                .then(a.organization.cmp(&b.organization))
+        });
         out
     }
 }
@@ -136,8 +136,19 @@ impl<'a> OrgAttributor<'a> {
 /// ("ExoClick S.L." → "ExoClick").
 fn normalize_org(org: &str) -> String {
     const SUFFIXES: &[&str] = &[
-        " inc.", " inc", " llc", " ltd.", " ltd", " s.l.", " sa", " bv", " corp.", " corp",
-        " corporation", " group", " co.",
+        " inc.",
+        " inc",
+        " llc",
+        " ltd.",
+        " ltd",
+        " s.l.",
+        " sa",
+        " bv",
+        " corp.",
+        " corp",
+        " corporation",
+        " group",
+        " co.",
     ];
     let mut out = org.trim().to_string();
     let lower = out.to_lowercase();

@@ -156,7 +156,12 @@ pub fn discover(
         .map(|(company, sites)| {
             let most_popular = sites
                 .iter()
-                .filter_map(|s| histories.get(s).and_then(|h| h.best()).map(|b| (s.clone(), b)))
+                .filter_map(|s| {
+                    histories
+                        .get(s)
+                        .and_then(|h| h.best())
+                        .map(|b| (s.clone(), b))
+                })
                 .min_by_key(|(_, b)| *b);
             OwnerCluster {
                 company,
@@ -165,13 +170,21 @@ pub fn discover(
             }
         })
         .collect();
-    out.sort_by(|a, b| b.sites.len().cmp(&a.sites.len()).then(a.company.cmp(&b.company)));
+    out.sort_by(|a, b| {
+        b.sites
+            .len()
+            .cmp(&a.sites.len())
+            .then(a.company.cmp(&b.company))
+    });
 
     let attributed: usize = out.iter().map(|c| c.sites.len()).sum();
     OwnershipReport {
         companies: out.len(),
         attributed_sites: attributed,
-        unattributed_pct: crate::util::pct(corpus_size.saturating_sub(attributed), corpus_size.max(1)),
+        unattributed_pct: crate::util::pct(
+            corpus_size.saturating_sub(attributed),
+            corpus_size.max(1),
+        ),
         template_clusters_discarded: discarded,
         clusters: out,
     }

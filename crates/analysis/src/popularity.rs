@@ -51,7 +51,10 @@ pub fn fig1(histories: &BTreeMap<String, RankHistory>) -> Fig1 {
         .collect();
     points.sort_by_key(|p| p.best.unwrap_or(u32::MAX));
     let always_top1m = histories.values().filter(|h| h.always_present()).count();
-    let always_top1k = histories.values().filter(|h| h.always_within(1_000)).count();
+    let always_top1k = histories
+        .values()
+        .filter(|h| h.always_within(1_000))
+        .count();
     Fig1 {
         always_top1m_pct: crate::util::pct(always_top1m, histories.len().max(1)),
         always_top1m,
@@ -87,10 +90,7 @@ pub struct Table3 {
 }
 
 /// Builds Table 3.
-pub fn table3(
-    extract: &ThirdPartyExtract,
-    tier_of: &BTreeMap<String, PopularityTier>,
-) -> Table3 {
+pub fn table3(extract: &ThirdPartyExtract, tier_of: &BTreeMap<String, PopularityTier>) -> Table3 {
     let mut per_tier: BTreeMap<PopularityTier, BTreeSet<&str>> = BTreeMap::new();
     let mut site_count: BTreeMap<PopularityTier, usize> = BTreeMap::new();
     for (site, parties) in &extract.per_site {

@@ -26,7 +26,9 @@ fn crawl(world: &World, domains: &[String], country: Country) -> CrawlRecord {
 struct Feed<'w>(&'w World);
 impl ThreatFeed for Feed<'_> {
     fn detections(&self, domain: &str) -> u8 {
-        self.0.scanners.detections(domain, self.0.truly_malicious(domain))
+        self.0
+            .scanners
+            .detections(domain, self.0.truly_malicious(domain))
     }
 }
 
@@ -71,8 +73,16 @@ fn geo_summaries_reflect_country_gating() {
     let classifier = ats::AtsClassifier::from_lists(&world.easylist, &world.easyprivacy);
     let feed = Feed(&world);
 
-    let ru = geo::summarize(&crawl(&world, &corpus.sanitized, Country::Russia), &classifier, &feed);
-    let es = geo::summarize(&crawl(&world, &corpus.sanitized, Country::Spain), &classifier, &feed);
+    let ru = geo::summarize(
+        &crawl(&world, &corpus.sanitized, Country::Russia),
+        &classifier,
+        &feed,
+    );
+    let es = geo::summarize(
+        &crawl(&world, &corpus.sanitized, Country::Spain),
+        &classifier,
+        &feed,
+    );
 
     // Russia-exclusive ATS must be observable from Russia only.
     let ru_only_fqdns: BTreeSet<&str> = world
@@ -84,7 +94,10 @@ fn geo_summaries_reflect_country_gating() {
     let ru_seen = ru_only_fqdns.iter().any(|f| ru.fqdns.contains(*f));
     let es_seen = ru_only_fqdns.iter().any(|f| es.fqdns.contains(*f));
     if ru_seen {
-        assert!(!es_seen, "RU-exclusive services leaked into the Spanish crawl");
+        assert!(
+            !es_seen,
+            "RU-exclusive services leaked into the Spanish crawl"
+        );
     }
 
     // Sites blocked in Russia are unreachable there but crawlable from Spain.
@@ -142,7 +155,11 @@ fn sync_report_respects_session_causality() {
     let report = sync::detect(&record, &corpus.sanitized, 50);
     // Origins/destinations tallies match the pair set.
     let origins: BTreeSet<&str> = report.pairs.keys().map(|p| p.origin.as_str()).collect();
-    let dests: BTreeSet<&str> = report.pairs.keys().map(|p| p.destination.as_str()).collect();
+    let dests: BTreeSet<&str> = report
+        .pairs
+        .keys()
+        .map(|p| p.destination.as_str())
+        .collect();
     assert_eq!(origins.len(), report.origins);
     assert_eq!(dests.len(), report.destinations);
     assert!((0.0..=100.0).contains(&report.top_sites_with_sync_pct));

@@ -140,7 +140,9 @@ fn bench(c: &mut Criterion) {
 
     // Time the two knob-sensitive kernels.
     c.bench_function("ablations/levenshtein_similarity", |b| {
-        b.iter(|| levenshtein::similarity(black_box("doublepimp.com"), black_box("doublepimpssl.com")))
+        b.iter(|| {
+            levenshtein::similarity(black_box("doublepimp.com"), black_box("doublepimpssl.com"))
+        })
     });
     let rows = cookies::collect(&f.porn);
     c.bench_function("ablations/id_filter", |b| {

@@ -20,13 +20,20 @@ fn bench(c: &mut Criterion) {
         .collect();
 
     let fig = popularity::fig1(&histories);
-    let best: Vec<f64> = fig.points.iter().filter_map(|p| p.best.map(|b| b as f64)).collect();
+    let best: Vec<f64> = fig
+        .points
+        .iter()
+        .filter_map(|p| p.best.map(|b| b as f64))
+        .collect();
     let presence: Vec<f64> = fig.points.iter().map(|p| p.presence * 100.0).collect();
     println!(
         "{}",
         render(
             "Fig. 1 (regenerated)",
-            &[Series::new("best rank", best), Series::new("% days in top-1M", presence)],
+            &[
+                Series::new("best rank", best),
+                Series::new("% days in top-1M", presence)
+            ],
             60,
         )
     );

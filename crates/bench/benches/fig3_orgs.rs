@@ -24,7 +24,11 @@ fn bench(c: &mut Criterion) {
         stats.companies,
         stats.resolved_by_disconnect,
     );
-    for org in attributor.prevalence(&porn_extract, f.porn.success_count()).iter().take(10) {
+    for org in attributor
+        .prevalence(&porn_extract, f.porn.success_count())
+        .iter()
+        .take(10)
+    {
         println!("  {:<26} {:>5.1}%", org.organization, org.fraction * 100.0);
     }
 

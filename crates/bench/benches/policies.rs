@@ -29,7 +29,14 @@ fn bench(c: &mut Criterion) {
     );
 
     c.bench_function("policies/pairwise_tfidf", |b| {
-        b.iter(|| policies::report(black_box(&docs), sanitized_out, f.corpus.sanitized.len(), usize::MAX))
+        b.iter(|| {
+            policies::report(
+                black_box(&docs),
+                sanitized_out,
+                f.corpus.sanitized.len(),
+                usize::MAX,
+            )
+        })
     });
     c.bench_function("policies/annotation", |b| {
         b.iter(|| {

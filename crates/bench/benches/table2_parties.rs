@@ -10,10 +10,20 @@ fn bench(c: &mut Criterion) {
     let classifier = f.classifier();
     let porn_extract = thirdparty::extract(&f.porn, true);
     let regular_extract = thirdparty::extract(&f.regular, true);
-    let t2 = ats::table2(&f.porn, &porn_extract, &f.regular, &regular_extract, &classifier);
+    let t2 = ats::table2(
+        &f.porn,
+        &porn_extract,
+        &f.regular,
+        &regular_extract,
+        &classifier,
+    );
     println!(
         "Table 2 (regenerated): porn 3rd-party {} / regular 3rd-party {} / ATS {}+{} (∩ {})",
-        t2.porn_third_party, t2.regular_third_party, t2.porn_ats, t2.regular_ats, t2.ats_intersection
+        t2.porn_third_party,
+        t2.regular_third_party,
+        t2.porn_ats,
+        t2.regular_ats,
+        t2.ats_intersection
     );
     println!("paper: 5,457 / 21,128 / 663+196 (∩ 86) at 20× this scale");
 

@@ -3,16 +3,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use redlight_analysis::{cookies, thirdparty};
 use redlight_bench::{criterion as bench_criterion, Fixture};
-use redlight_net::geoip::{Country, VantagePoint};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let f = Fixture::small();
-    let client_ip = VantagePoint::study_default()
-        .into_iter()
-        .find(|v| v.country == Country::Spain)
-        .unwrap()
-        .client_ip;
+    let client_ip = f.porn.client_ip;
     let rows = cookies::collect(&f.porn);
     let stats = cookies::stats(&f.porn, &rows, client_ip);
     println!(
@@ -30,7 +25,14 @@ fn bench(c: &mut Criterion) {
     );
     let regular_extract = thirdparty::extract(&f.regular, true);
     let classifier = f.classifier();
-    for row in cookies::table4(&f.porn, &rows, &classifier, &regular_extract.third_party_fqdns, client_ip, 5) {
+    for row in cookies::table4(
+        &f.porn,
+        &rows,
+        &classifier,
+        &regular_extract.third_party_fqdns,
+        client_ip,
+        5,
+    ) {
         println!(
             "  {:<18} {:>5.1}% of sites, {:>4} cookies, ip {:>5.1}%",
             row.domain, row.site_pct, row.cookies, row.ip_pct

@@ -3,7 +3,6 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use redlight_analysis::{https, popularity};
 use redlight_bench::{criterion as bench_criterion, Fixture};
-use redlight_net::geoip::{Country, VantagePoint};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 
@@ -11,11 +10,7 @@ fn bench(c: &mut Criterion) {
     let f = Fixture::small();
     let histories: BTreeMap<_, _> = f.world.rank_histories().into_iter().collect();
     let tier_of = popularity::tiers_from_histories(&histories);
-    let client_ip = VantagePoint::study_default()
-        .into_iter()
-        .find(|v| v.country == Country::Spain)
-        .unwrap()
-        .client_ip;
+    let client_ip = f.porn.client_ip;
     let report = https::report(&f.porn, &tier_of, client_ip);
     for row in &report.rows {
         println!(

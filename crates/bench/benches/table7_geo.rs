@@ -12,7 +12,9 @@ use std::hint::black_box;
 struct Feed<'w>(&'w redlight_websim::World);
 impl ThreatFeed for Feed<'_> {
     fn detections(&self, domain: &str) -> u8 {
-        self.0.scanners.detections(domain, self.0.truly_malicious(domain))
+        self.0
+            .scanners
+            .detections(domain, self.0.truly_malicious(domain))
     }
 }
 
@@ -20,7 +22,12 @@ fn bench(c: &mut Criterion) {
     let f = Fixture::tiny();
     let classifier = f.classifier();
     let threat = Feed(&f.world);
-    let countries = [Country::Spain, Country::Usa, Country::Russia, Country::India];
+    let countries = [
+        Country::Spain,
+        Country::Usa,
+        Country::Russia,
+        Country::India,
+    ];
     let crawls: Vec<_> = countries
         .iter()
         .map(|&country| {

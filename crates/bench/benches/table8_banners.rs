@@ -18,18 +18,17 @@ fn bench(c: &mut Criterion) {
     for (kind, pct) in &breakdown.pct_by_type {
         println!("  {kind:<14} {pct:.2}%");
     }
-    println!("{} banners observed, {} rejected by manual verification", observations.len(), breakdown.rejected);
+    println!(
+        "{} banners observed, {} rejected by manual verification",
+        observations.len(),
+        breakdown.rejected
+    );
 
     c.bench_function("table8/banner_detection", |b| {
         b.iter(|| consent::breakdown(black_box(&f.porn), &verify))
     });
     // The DOM classifier on one page is the hot inner loop.
-    if let Some(page) = f
-        .porn
-        .visits
-        .iter()
-        .find(|v| !v.visit.dom_html.is_empty())
-    {
+    if let Some(page) = f.porn.visits.iter().find(|v| !v.visit.dom_html.is_empty()) {
         c.bench_function("table8/classify_single_page", |b| {
             b.iter(|| consent::classify_page(black_box(&page.visit.dom_html)))
         });

@@ -4,23 +4,38 @@
 //! cargo run --release -p redlight-bench --bin reproduce            # small scale (~20× down)
 //! cargo run --release -p redlight-bench --bin reproduce -- --paper # full paper scale
 //! cargo run --release -p redlight-bench --bin reproduce -- --seed 7
+//! cargo run --release -p redlight-bench --bin reproduce -- --timings
+//! cargo run --release -p redlight-bench --bin reproduce -- --stage cookies --stage https
 //! ```
 //!
 //! Prints the rendered tables/figures followed by the paper-vs-measured
-//! comparison table that EXPERIMENTS.md records.
+//! comparison table that EXPERIMENTS.md records. `--timings` appends the
+//! pipeline instrumentation (per-crawl and per-stage wall times with record
+//! counts). `--stage <name>` (repeatable) runs only the named analysis
+//! stages — dependencies are pulled in automatically — and prints their
+//! one-line summaries plus timings instead of the full report.
 
-use redlight_core::{Study, StudyConfig, StudyResults};
+use redlight_core::results::StageReport;
+use redlight_core::{stages, Study, StudyConfig, StudyResults};
 use redlight_report::paper::{self, Comparison};
+use redlight_websim::World;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let paper_scale = args.iter().any(|a| a == "--paper");
+    let timings = args.iter().any(|a| a == "--timings");
     let seed = args
         .iter()
         .position(|a| a == "--seed")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(2019u64);
+    let requested: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--stage")
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect();
 
     let config = if paper_scale {
         StudyConfig::paper_scale(seed)
@@ -31,14 +46,62 @@ fn main() {
 
     eprintln!(
         "running the {} study (seed {seed})…",
-        if paper_scale { "PAPER-SCALE" } else { "small-scale (1/20)" }
+        if paper_scale {
+            "PAPER-SCALE"
+        } else {
+            "small-scale (1/20)"
+        }
     );
     let t0 = std::time::Instant::now();
+
+    if !requested.is_empty() {
+        run_stages(&config, &requested, timings);
+        eprintln!("done in {:?}", t0.elapsed());
+        return;
+    }
+
     let results = Study::run(config);
     eprintln!("done in {:?}", t0.elapsed());
 
     println!("{}", results.render_summary());
-    println!("{}", paper::render_comparisons("Paper vs measured", &comparisons(&results, scale)));
+    println!(
+        "{}",
+        paper::render_comparisons("Paper vs measured", &comparisons(&results, scale))
+    );
+    if timings {
+        println!("{}", results.render_timings());
+    }
+}
+
+/// `--stage` mode: collect the DB once, run only the selected stages.
+fn run_stages(config: &StudyConfig, requested: &[String], timings: bool) {
+    let selected = match stages::expand_selection(requested) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "stages: {}",
+        selected.iter().copied().collect::<Vec<_>>().join(", ")
+    );
+
+    let world = World::build(config.world.clone());
+    let (db, crawl_timings) = Study::collect_db(&world, config);
+    let ctx = stages::AnalysisContext::build(&world, config, &db);
+    let (outputs, stage_timings) = stages::run(&db, &ctx, &selected);
+
+    for (name, line) in outputs.summaries() {
+        println!("{name:<16} {line}");
+    }
+    if timings {
+        let report = StageReport {
+            crawls: crawl_timings,
+            stages: stage_timings,
+        };
+        println!("\n{}", report.render());
+    }
 }
 
 /// Builds every registered comparison. Count-type metrics are rescaled by
@@ -90,26 +153,53 @@ pub fn comparisons(r: &StudyResults, scale: f64) -> Vec<Comparison> {
     vec![
         // §3 corpus (counts scale with the world).
         paper::compare("corpus.candidates", r.corpus.candidates as f64 * scale),
-        paper::compare("corpus.false_positives", r.corpus.false_positives as f64 * scale),
+        paper::compare(
+            "corpus.false_positives",
+            r.corpus.false_positives as f64 * scale,
+        ),
         paper::compare("corpus.sanitized", r.corpus.sanitized as f64 * scale),
-        paper::compare("corpus.regular_reference", r.corpus.regular_reference as f64 * scale),
+        paper::compare(
+            "corpus.regular_reference",
+            r.corpus.regular_reference as f64 * scale,
+        ),
         // Fig. 1.
         paper::compare("fig1.always_top1m_pct", r.fig1.always_top1m_pct),
         paper::compare("fig1.always_top1k", r.fig1.always_top1k as f64 * scale),
         // §4.1.
         paper::compare("owners.companies", r.ownership.companies as f64),
-        paper::compare("owners.attributed_sites", r.ownership.attributed_sites as f64 * scale),
+        paper::compare(
+            "owners.attributed_sites",
+            r.ownership.attributed_sites as f64 * scale,
+        ),
         paper::compare("owners.unattributed_pct", r.ownership.unattributed_pct),
-        paper::compare("monetization.subscription_pct", r.monetization.with_subscription_pct),
+        paper::compare(
+            "monetization.subscription_pct",
+            r.monetization.with_subscription_pct,
+        ),
         paper::compare("monetization.paid_pct", r.monetization.paid_pct),
         // Table 2.
-        paper::compare("table2.porn_crawled", r.table2.porn_corpus_size as f64 * scale),
-        paper::compare("table2.regular_crawled", r.table2.regular_corpus_size as f64 * scale),
-        paper::compare("table2.porn_third_party", r.table2.porn_third_party as f64 * scale),
-        paper::compare("table2.regular_third_party", r.table2.regular_third_party as f64 * scale),
+        paper::compare(
+            "table2.porn_crawled",
+            r.table2.porn_corpus_size as f64 * scale,
+        ),
+        paper::compare(
+            "table2.regular_crawled",
+            r.table2.regular_corpus_size as f64 * scale,
+        ),
+        paper::compare(
+            "table2.porn_third_party",
+            r.table2.porn_third_party as f64 * scale,
+        ),
+        paper::compare(
+            "table2.regular_third_party",
+            r.table2.regular_third_party as f64 * scale,
+        ),
         paper::compare("table2.porn_ats", r.table2.porn_ats as f64 * scale),
         paper::compare("table2.regular_ats", r.table2.regular_ats as f64 * scale),
-        paper::compare("table2.ats_intersection", r.table2.ats_intersection as f64 * scale),
+        paper::compare(
+            "table2.ats_intersection",
+            r.table2.ats_intersection as f64 * scale,
+        ),
         // §4.2(3) / Fig. 3.
         paper::compare(
             "orgs.resolved_pct",
@@ -122,14 +212,38 @@ pub fn comparisons(r: &StudyResults, scale: f64) -> Vec<Comparison> {
         // §5.1.1 / Table 4.
         paper::compare("cookies.total", r.cookie_stats.total_cookies as f64 * scale),
         paper::compare("cookies.sites_pct", r.cookie_stats.sites_with_cookies_pct),
-        paper::compare("cookies.id_cookies", r.cookie_stats.id_cookies as f64 * scale),
-        paper::compare("cookies.third_party_id", r.cookie_stats.third_party_id_cookies as f64 * scale),
-        paper::compare("cookies.third_party_domains", r.cookie_stats.third_party_domains as f64 * scale),
-        paper::compare("cookies.third_party_sites_pct", r.cookie_stats.sites_with_third_party_pct),
-        paper::compare("cookies.ip_cookies", r.cookie_stats.ip_cookies as f64 * scale),
-        paper::compare("cookies.ip_top_org_pct", r.cookie_stats.ip_cookies_top_org_pct),
-        paper::compare("cookies.geo_cookies", r.cookie_stats.geo_cookies as f64 * scale),
-        paper::compare("cookies.top100_site_pct", r.cookie_stats.top100_cookie_site_pct),
+        paper::compare(
+            "cookies.id_cookies",
+            r.cookie_stats.id_cookies as f64 * scale,
+        ),
+        paper::compare(
+            "cookies.third_party_id",
+            r.cookie_stats.third_party_id_cookies as f64 * scale,
+        ),
+        paper::compare(
+            "cookies.third_party_domains",
+            r.cookie_stats.third_party_domains as f64 * scale,
+        ),
+        paper::compare(
+            "cookies.third_party_sites_pct",
+            r.cookie_stats.sites_with_third_party_pct,
+        ),
+        paper::compare(
+            "cookies.ip_cookies",
+            r.cookie_stats.ip_cookies as f64 * scale,
+        ),
+        paper::compare(
+            "cookies.ip_top_org_pct",
+            r.cookie_stats.ip_cookies_top_org_pct,
+        ),
+        paper::compare(
+            "cookies.geo_cookies",
+            r.cookie_stats.geo_cookies as f64 * scale,
+        ),
+        paper::compare(
+            "cookies.top100_site_pct",
+            r.cookie_stats.top100_cookie_site_pct,
+        ),
         paper::compare("table4.exosrv_pct", exosrv_pct),
         paper::compare("table4.exosrv_ip_pct", exosrv_ip),
         paper::compare("table4.exoclick_pct", exoclick_pct),
@@ -142,10 +256,22 @@ pub fn comparisons(r: &StudyResults, scale: f64) -> Vec<Comparison> {
         paper::compare("sync.destinations", r.sync.destinations as f64 * scale),
         paper::compare("sync.top100_pct", r.sync.top_sites_with_sync_pct),
         // §5.1.3 / §5.1.4.
-        paper::compare("fp.canvas_scripts", r.fingerprint.canvas_scripts.len() as f64 * scale),
-        paper::compare("fp.canvas_sites", r.fingerprint.canvas_sites.len() as f64 * scale),
-        paper::compare("fp.canvas_services", r.fingerprint.canvas_services.len() as f64),
-        paper::compare("fp.third_party_script_pct", r.fingerprint.third_party_script_pct),
+        paper::compare(
+            "fp.canvas_scripts",
+            r.fingerprint.canvas_scripts.len() as f64 * scale,
+        ),
+        paper::compare(
+            "fp.canvas_sites",
+            r.fingerprint.canvas_sites.len() as f64 * scale,
+        ),
+        paper::compare(
+            "fp.canvas_services",
+            r.fingerprint.canvas_services.len() as f64,
+        ),
+        paper::compare(
+            "fp.third_party_script_pct",
+            r.fingerprint.third_party_script_pct,
+        ),
         paper::compare("fp.unindexed_pct", r.fingerprint.unindexed_pct),
         paper::compare("fp.font_scripts", r.fingerprint.font_scripts.len() as f64),
         paper::compare("webrtc.scripts", r.webrtc.scripts.len() as f64 * scale),
@@ -159,11 +285,26 @@ pub fn comparisons(r: &StudyResults, scale: f64) -> Vec<Comparison> {
         paper::compare("table6.beyond_sites_pct", r.https.rows[3].sites_https_pct),
         paper::compare("https.not_fully_pct", r.https.not_fully_https_pct),
         // §5.3.
-        paper::compare("malware.flagged_sites", r.malware.flagged_sites.len() as f64 * scale),
-        paper::compare("malware.flagged_services", r.malware.flagged_services.len() as f64),
-        paper::compare("malware.sites_with_flagged", r.malware.sites_with_flagged_services as f64 * scale),
-        paper::compare("malware.mining_sites", r.malware.mining_sites.len() as f64 * scale),
-        paper::compare("malware.mining_services", r.malware.mining_services.len() as f64),
+        paper::compare(
+            "malware.flagged_sites",
+            r.malware.flagged_sites.len() as f64 * scale,
+        ),
+        paper::compare(
+            "malware.flagged_services",
+            r.malware.flagged_services.len() as f64,
+        ),
+        paper::compare(
+            "malware.sites_with_flagged",
+            r.malware.sites_with_flagged_services as f64 * scale,
+        ),
+        paper::compare(
+            "malware.mining_sites",
+            r.malware.mining_sites.len() as f64 * scale,
+        ),
+        paper::compare(
+            "malware.mining_services",
+            r.malware.mining_services.len() as f64,
+        ),
         // §6 / Table 7.
         paper::compare(
             "table7.spain_fqdns",
@@ -175,13 +316,18 @@ pub fn comparisons(r: &StudyResults, scale: f64) -> Vec<Comparison> {
         ),
         paper::compare(
             "table7.russia_unique_ats",
-            russia.map(|row| row.unique_ats as f64 * scale).unwrap_or(0.0),
+            russia
+                .map(|row| row.unique_ats as f64 * scale)
+                .unwrap_or(0.0),
         ),
         paper::compare("table7.total_ats", r.table7.total_ats as f64 * scale),
         // §7.1 / Table 8.
         paper::compare("table8.eu_total_pct", r.banners_eu.total_pct),
         paper::compare("table8.usa_total_pct", r.banners_usa.total_pct),
-        paper::compare("table8.no_option_share_pct", r.banners_eu.no_option_share_pct),
+        paper::compare(
+            "table8.no_option_share_pct",
+            r.banners_eu.no_option_share_pct,
+        ),
         // §7.2.
         paper::compare("agegate.west_pct", west_gate),
         paper::compare("agegate.russia_pct", ru_gate),

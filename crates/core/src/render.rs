@@ -10,10 +10,7 @@ impl StudyResults {
     /// §3 corpus compilation.
     pub fn render_corpus(&self) -> String {
         let c = &self.corpus;
-        let mut t = Table::new(
-            "Corpus compilation (paper §3)",
-            &["source", "count"],
-        );
+        let mut t = Table::new("Corpus compilation (paper §3)", &["source", "count"]);
         t.row(&["directory aggregators", &fmt_count(c.from_directories)]);
         t.row(&["Alexa Adult category", &fmt_count(c.from_adult_category)]);
         t.row(&["keyword search (top-1M, 2018)", &fmt_count(c.from_keywords)]);
@@ -39,7 +36,12 @@ impl StudyResults {
             .iter()
             .filter_map(|p| p.median.map(|m| m as f64))
             .collect();
-        let presence: Vec<f64> = self.fig1.points.iter().map(|p| p.presence * 100.0).collect();
+        let presence: Vec<f64> = self
+            .fig1
+            .points
+            .iter()
+            .map(|p| p.presence * 100.0)
+            .collect();
         let mut out = figure::render(
             "Fig. 1 — rank stability (sites ordered by best 2018 rank)",
             &[
@@ -189,7 +191,14 @@ impl StudyResults {
         let s = &self.cookie_stats;
         let mut t = Table::new(
             "Table 4 — top third-party domains delivering ID cookies",
-            &["domain", "% porn sites", "# cookies", "ATS", "web eco", "% with IP"],
+            &[
+                "domain",
+                "% porn sites",
+                "# cookies",
+                "ATS",
+                "web eco",
+                "% with IP",
+            ],
         );
         for row in &self.table4 {
             t.row(&[
@@ -262,7 +271,14 @@ impl StudyResults {
     pub fn render_table5(&self) -> String {
         let mut t = Table::new(
             "Table 5 — fingerprinting third parties",
-            &["domain", "porn sites", "ATS", "regular web", "canvas", "webrtc"],
+            &[
+                "domain",
+                "porn sites",
+                "ATS",
+                "regular web",
+                "canvas",
+                "webrtc",
+            ],
         );
         for row in &self.table5 {
             t.row(&[
@@ -308,7 +324,13 @@ impl StudyResults {
     pub fn render_table6(&self) -> String {
         let mut t = Table::new(
             "Table 6 — HTTPS usage",
-            &["interval", "porn sites", "sites HTTPS", "3rd-party FQDNs", "3rd-party HTTPS"],
+            &[
+                "interval",
+                "porn sites",
+                "sites HTTPS",
+                "3rd-party FQDNs",
+                "3rd-party HTTPS",
+            ],
         );
         for row in &self.https.rows {
             t.row(&[
@@ -333,7 +355,14 @@ impl StudyResults {
     pub fn render_table7(&self) -> String {
         let mut t = Table::new(
             "Table 7 — per-country comparison",
-            &["country", "FQDNs", "web eco %", "unique", "ATS", "unique ATS"],
+            &[
+                "country",
+                "FQDNs",
+                "web eco %",
+                "unique",
+                "ATS",
+                "unique ATS",
+            ],
         );
         for row in &self.table7.rows {
             t.row(&[
@@ -356,7 +385,12 @@ impl StudyResults {
         let gm = &self.geo_malware;
         out.push_str("malware by country:");
         for (country, domains, sites) in &gm.per_country {
-            out.push_str(&format!(" {}={} dom/{} sites", country.code(), domains, sites));
+            out.push_str(&format!(
+                " {}={} dom/{} sites",
+                country.code(),
+                domains,
+                sites
+            ));
         }
         out.push_str(&format!(
             "\nstable malicious domains: {}   sites with malware everywhere (lower bound): {}\n",
@@ -374,8 +408,20 @@ impl StudyResults {
         for kind in ["No Option", "Confirmation", "Binary", "Others"] {
             t.row(&[
                 kind.to_string(),
-                fmt_pct(self.banners_eu.pct_by_type.get(kind).copied().unwrap_or(0.0)),
-                fmt_pct(self.banners_usa.pct_by_type.get(kind).copied().unwrap_or(0.0)),
+                fmt_pct(
+                    self.banners_eu
+                        .pct_by_type
+                        .get(kind)
+                        .copied()
+                        .unwrap_or(0.0),
+                ),
+                fmt_pct(
+                    self.banners_usa
+                        .pct_by_type
+                        .get(kind)
+                        .copied()
+                        .unwrap_or(0.0),
+                ),
             ]);
         }
         t.row(&[
@@ -397,7 +443,14 @@ impl StudyResults {
     pub fn render_agegates(&self) -> String {
         let mut t = Table::new(
             "Age verification (paper §7.2, top-sites subset)",
-            &["country", "studied", "with gate", "%", "bypassed", "social login"],
+            &[
+                "country",
+                "studied",
+                "with gate",
+                "%",
+                "bypassed",
+                "social login",
+            ],
         );
         for c in &self.agegates.per_country {
             t.row(&[
@@ -466,10 +519,70 @@ impl StudyResults {
         ]
         .join("\n")
     }
+
+    /// Pipeline instrumentation: per-crawl and per-stage wall times with
+    /// record counts (`reproduce --timings`). Kept out of
+    /// [`render_summary`](Self::render_summary) so the summary stays
+    /// byte-identical across runs of the same seed.
+    pub fn render_timings(&self) -> String {
+        self.stage_report.render()
+    }
+}
+
+impl crate::results::StageReport {
+    /// Renders the crawl and stage timing tables.
+    pub fn render(&self) -> String {
+        let ms = |d: std::time::Duration| format!("{:.2}", d.as_secs_f64() * 1e3);
+
+        let mut crawls = Table::new(
+            "Collection layer — one row per crawl",
+            &["crawler", "country", "corpus", "sites", "wall (ms)"],
+        );
+        for c in &self.crawls {
+            let corpus = c
+                .corpus
+                .map(|l| format!("{l:?}").to_lowercase())
+                .unwrap_or_else(|| "interaction".to_string());
+            crawls.row(&[
+                c.crawler.to_string(),
+                format!("{:?}", c.country),
+                corpus,
+                fmt_count(c.sites),
+                ms(c.wall),
+            ]);
+        }
+        let crawl_total: std::time::Duration = self.crawls.iter().map(|c| c.wall).sum();
+
+        let mut stages = Table::new(
+            "Analysis layer — one row per stage",
+            &["stage", "input records", "output records", "wall (ms)"],
+        );
+        for s in &self.stages {
+            stages.row(&[
+                s.name.to_string(),
+                fmt_count(s.input_records),
+                fmt_count(s.output_records),
+                ms(s.wall),
+            ]);
+        }
+        let stage_total: std::time::Duration = self.stages.iter().map(|s| s.wall).sum();
+
+        format!(
+            "{}total crawl wall time: {} ms\n\n{}total stage wall time: {} ms\n",
+            crawls.render(),
+            ms(crawl_total),
+            stages.render(),
+            ms(stage_total),
+        )
+    }
 }
 
 fn tick(b: bool) -> String {
-    if b { "✓".to_string() } else { "-".to_string() }
+    if b {
+        "✓".to_string()
+    } else {
+        "-".to_string()
+    }
 }
 
 /// Local percentage helper.

@@ -2,6 +2,7 @@
 //! paper, in structured form.
 
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 use redlight_analysis::agegate::AgeGateComparison;
 use redlight_analysis::ats::Table2;
@@ -18,6 +19,32 @@ use redlight_analysis::policies::PolicyReport;
 use redlight_analysis::popularity::{Fig1, Table3};
 use redlight_analysis::sync::SyncReport;
 use redlight_analysis::webrtc::WebRtcReport;
+use redlight_crawler::plan::CrawlTiming;
+
+/// Wall time and record counts for one named analysis stage.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// The stage's registered name (one of [`crate::stages::STAGES`]).
+    pub name: &'static str,
+    /// Wall-clock duration of the stage.
+    pub wall: Duration,
+    /// Records the stage read (visits, cookie rows, interaction records…).
+    pub input_records: usize,
+    /// Records the stage produced (table rows, detections, clusters…).
+    pub output_records: usize,
+}
+
+/// Instrumentation for one pipeline run: every crawl's wall time plus every
+/// analysis stage's wall time and record counts. Carried by
+/// [`StudyResults`] and rendered by
+/// [`render_timings`](StudyResults::render_timings).
+#[derive(Debug, Clone, Default)]
+pub struct StageReport {
+    /// Collection-layer timings, one per executed crawl.
+    pub crawls: Vec<CrawlTiming>,
+    /// Analysis-layer timings, one per stage that ran.
+    pub stages: Vec<StageTiming>,
+}
 
 /// Corpus-compilation outcome (stringified from the crawler report).
 #[derive(Debug, Clone)]
@@ -95,4 +122,6 @@ pub struct StudyResults {
     pub disclosure_check: (usize, usize, usize),
     /// Per-domain best ranks (for downstream rendering).
     pub best_ranks: BTreeMap<String, u32>,
+    /// Pipeline instrumentation: crawl and stage timings with record counts.
+    pub stage_report: StageReport,
 }

@@ -1,21 +1,33 @@
-//! The end-to-end pipeline.
+//! The end-to-end pipeline driver: plan the crawls, collect the
+//! measurement database, run the analysis stages, assemble the results.
+//!
+//! The pipeline has three layers:
+//!
+//! 1. **Collection** — [`StudyConfig::crawl_plan`] derives a
+//!    [`CrawlPlan`] (countries × corpora × store-DOM flags plus the
+//!    Selenium interaction crawls) and [`Study::collect_db`] executes it,
+//!    recording *every* crawl into a [`MeasurementDb`].
+//! 2. **Analysis** — [`crate::stages`] derives the shared
+//!    [`AnalysisContext`](crate::stages::AnalysisContext) and runs the
+//!    named stages over the DB, independent stages concurrently.
+//! 3. **Reporting** — per-crawl and per-stage timings land in a
+//!    [`StageReport`](crate::results::StageReport) inside
+//!    [`StudyResults`].
+//!
+//! [`Study::collect_db`] is the literal first half of [`Study::run_on`]:
+//! downstream consumers that only want the raw tables call it and stop.
 
-use std::collections::BTreeMap;
-
-use redlight_analysis::{
-    agegate, ats, consent, cookies, fingerprint, geo, https, malware, monetization, orgs, owners,
-    policies, popularity, sync, thirdparty, webrtc,
-};
 use redlight_crawler::corpus::CorpusCompiler;
-use redlight_crawler::db::CorpusLabel;
-use redlight_crawler::openwpm::{CrawlConfig, OpenWpmCrawler};
-use redlight_crawler::selenium::SeleniumCrawler;
+use redlight_crawler::db::{CorpusLabel, MeasurementDb};
+use redlight_crawler::openwpm::CrawlConfig;
+use redlight_crawler::plan::{
+    CrawlPlan, CrawlSpec, CrawlTiming, DomainSel, InteractionSpec, PlanDomains,
+};
 use redlight_net::geoip::Country;
-use redlight_websim::oracle::InspectionOracle;
 use redlight_websim::{World, WorldConfig};
 
-use crate::results::{CorpusSummary, StudyResults};
-use crate::WorldThreatFeed;
+use crate::results::{StageReport, StudyResults};
+use crate::stages::{self, AnalysisContext, GATE_COUNTRIES};
 
 /// Study parameters.
 #[derive(Debug, Clone)]
@@ -61,44 +73,87 @@ impl StudyConfig {
             max_policy_pairs: 5_000,
         }
     }
+
+    /// Every crawl the study performs, as data.
+    ///
+    /// * OpenWPM: the main Spanish porn crawl (DOM retained for banner
+    ///   analysis) + the Spanish regular reference crawl, then one porn
+    ///   crawl per remaining geo-sweep country — the USA keeps its DOM
+    ///   for Table 8's EU-vs-USA comparison, the rest are summary-only.
+    /// * Selenium: the full-corpus Spanish interaction crawl (§7.3/§4.1)
+    ///   plus the §7.2 age-gate crawls of the top-N set from the other
+    ///   [`GATE_COUNTRIES`].
+    pub fn crawl_plan(&self) -> CrawlPlan {
+        let mut openwpm = vec![
+            CrawlSpec {
+                config: CrawlConfig {
+                    country: Country::Spain,
+                    corpus: CorpusLabel::Porn,
+                    store_dom: true,
+                },
+                domains: DomainSel::Porn,
+            },
+            CrawlSpec {
+                config: CrawlConfig {
+                    country: Country::Spain,
+                    corpus: CorpusLabel::Regular,
+                    store_dom: false,
+                },
+                domains: DomainSel::Regular,
+            },
+        ];
+        for &country in self.countries.iter().filter(|c| **c != Country::Spain) {
+            openwpm.push(CrawlSpec {
+                config: CrawlConfig {
+                    country,
+                    corpus: CorpusLabel::Porn,
+                    store_dom: country == Country::Usa,
+                },
+                domains: DomainSel::Porn,
+            });
+        }
+
+        let mut interactions = vec![InteractionSpec {
+            country: Country::Spain,
+            domains: DomainSel::Porn,
+        }];
+        for country in GATE_COUNTRIES {
+            if country != Country::Spain {
+                interactions.push(InteractionSpec {
+                    country,
+                    domains: DomainSel::AgeGateTop,
+                });
+            }
+        }
+
+        CrawlPlan {
+            openwpm,
+            interactions,
+        }
+    }
 }
 
 /// The study driver.
 pub struct Study;
 
 impl Study {
-    /// Collects the raw measurement database (the OpenWPM-SQLite stand-in)
-    /// without running the analyses: the Spanish porn + regular crawls and
-    /// the Spanish interaction crawl. Useful for downstream consumers that
-    /// want to run their own analyses over the recorded tables.
-    pub fn collect_db(world: &World, store_dom: bool) -> redlight_crawler::MeasurementDb {
+    /// The collection layer: compiles the corpus, derives the crawl plan
+    /// and executes it, recording every OpenWPM and Selenium crawl (the
+    /// OpenWPM-SQLite stand-in) with per-crawl wall times. This is the
+    /// literal first half of [`Study::run_on`]; downstream consumers that
+    /// want to run their own analyses call it and read the tables.
+    pub fn collect_db(world: &World, config: &StudyConfig) -> (MeasurementDb, Vec<CrawlTiming>) {
         let corpus = CorpusCompiler::new(world).compile();
-        let mut db = redlight_crawler::MeasurementDb::new();
-        db.crawls.push(
-            OpenWpmCrawler::new(
-                world,
-                CrawlConfig {
-                    country: Country::Spain,
-                    corpus: CorpusLabel::Porn,
-                    store_dom,
-                },
-            )
-            .crawl(&corpus.sanitized),
-        );
-        db.crawls.push(
-            OpenWpmCrawler::new(
-                world,
-                CrawlConfig {
-                    country: Country::Spain,
-                    corpus: CorpusLabel::Regular,
-                    store_dom: false,
-                },
-            )
-            .crawl(&corpus.reference_regular),
-        );
-        db.interactions =
-            SeleniumCrawler::new(world, Country::Spain).crawl(&corpus.sanitized);
-        db
+        let (_, _, ranked) = stages::ranked_corpus(world, &corpus.sanitized);
+        let top: Vec<String> = ranked.into_iter().take(config.agegate_top_n).collect();
+        config.crawl_plan().execute(
+            world,
+            PlanDomains {
+                porn: &corpus.sanitized,
+                regular: &corpus.reference_regular,
+                agegate_top: &top,
+            },
+        )
     }
 
     /// Runs the full pipeline and returns every table/figure.
@@ -110,319 +165,23 @@ impl Study {
     /// Runs the pipeline on an existing world (lets callers keep the world
     /// for validation against ground truth).
     pub fn run_on(world: &World, config: &StudyConfig) -> StudyResults {
-        // ---- §3: corpus compilation. ----
-        let corpus = CorpusCompiler::new(world).compile();
+        // Layer 1: collect every crawl into the measurement DB.
+        let (db, crawl_timings) = Self::collect_db(world, config);
 
-        // ---- Longitudinal rank data (public dataset). ----
-        let histories_all = world.rank_histories();
-        let porn_histories: BTreeMap<String, redlight_rankings::RankHistory> = corpus
-            .sanitized
-            .iter()
-            .filter_map(|d| histories_all.get(d).map(|h| (d.clone(), h.clone())))
-            .collect();
-        let tier_of = popularity::tiers_from_histories(&porn_histories);
-        let best_ranks: BTreeMap<String, u32> = porn_histories
-            .iter()
-            .filter_map(|(d, h)| h.best().map(|b| (d.clone(), b)))
-            .collect();
+        // Layer 2: derive shared artifacts, then run all analysis stages.
+        let ctx = AnalysisContext::build(world, config, &db);
+        let (outputs, stage_timings) = stages::run(&db, &ctx, &stages::all_stages());
 
-        // ---- Main OpenWPM crawls from Spain (porn + regular). ----
-        let porn_es = OpenWpmCrawler::new(
-            world,
-            CrawlConfig {
-                country: Country::Spain,
-                corpus: CorpusLabel::Porn,
-                store_dom: true,
-            },
-        )
-        .crawl(&corpus.sanitized);
-        let regular_es = OpenWpmCrawler::new(
-            world,
-            CrawlConfig {
-                country: Country::Spain,
-                corpus: CorpusLabel::Regular,
-                store_dom: false,
-            },
-        )
-        .crawl(&corpus.reference_regular);
-
-        // ---- Third-party extraction + ATS classification. ----
-        let porn_extract = thirdparty::extract(&porn_es, true);
-        let regular_extract = thirdparty::extract(&regular_es, true);
-        let classifier = ats::AtsClassifier::from_lists(&world.easylist, &world.easyprivacy);
-        let table2 = ats::table2(
-            &porn_es,
-            &porn_extract,
-            &regular_es,
-            &regular_extract,
-            &classifier,
-        );
-
-        // ---- Organization attribution (Fig. 3). ----
-        // Out-of-band TLS probe: connect to port 443 of any contacted FQDN
-        // and read its certificate (what the paper's §4.2(3) pipeline did).
-        let probe = |host: &str| -> Option<redlight_net::tls::CertSummary> {
-            world.resolve_host(host)?;
-            Some((&world.cert_for_host(host)).into())
-        };
-        let attributor =
-            orgs::OrgAttributor::new(&world.disconnect, &[&porn_es, &regular_es], Some(&probe));
-        let attribution = attributor.coverage(&porn_extract);
-        let fig3_porn = attributor.prevalence(&porn_extract, porn_es.success_count());
-        let fig3_regular = attributor.prevalence(&regular_extract, regular_es.success_count());
-
-        // ---- Cookies (§5.1.1, Table 4). ----
-        let client_ip = porn_es_client_ip(world);
-        let cookie_rows = cookies::collect(&porn_es);
-        let cookie_stats = cookies::stats(&porn_es, &cookie_rows, client_ip);
-        let table4 = cookies::table4(
-            &porn_es,
-            &cookie_rows,
-            &classifier,
-            &regular_extract.third_party_fqdns,
-            client_ip,
-            5,
-        );
-
-        // ---- Cookie syncing (§5.1.2). ----
-        let mut ranked: Vec<String> = corpus.sanitized.clone();
-        ranked.sort_by_key(|d| best_ranks.get(d).copied().unwrap_or(u32::MAX));
-        let sync = sync::detect(&porn_es, &ranked, 100.min(ranked.len()));
-
-        // ---- Fingerprinting (§5.1.3/5.1.4, Table 5). ----
-        let fp = fingerprint::detect(&porn_es, &classifier);
-        let rtc = webrtc::detect(&porn_es, &classifier);
-        let table5 = fingerprint::table5(&fp, &rtc, &porn_extract, &regular_extract, &classifier, 10);
-
-        // ---- HTTPS (§5.2, Table 6). ----
-        let https_report = https::report(&porn_es, &tier_of, client_ip);
-
-        // ---- Popularity (Fig. 1, Table 3). ----
-        let fig1 = popularity::fig1(&porn_histories);
-        let table3 = popularity::table3(&porn_extract, &tier_of);
-
-        // ---- Malware (§5.3). ----
-        let threat = WorldThreatFeed(world);
-        let malware_report = malware::detect(&porn_es, &threat);
-
-        // ---- Geo sweep (§6, Table 7): the USA crawl keeps its DOM for
-        //      Table 8; other countries are summarized in parallel and
-        //      dropped immediately. ----
-        let es_summary = geo::summarize(&porn_es, &classifier, &threat);
-        let mut summaries: Vec<geo::GeoSummary> = vec![es_summary];
-        let mut usa_crawl = None;
-        let others: Vec<Country> = config
-            .countries
-            .iter()
-            .copied()
-            .filter(|c| *c != Country::Spain)
-            .collect();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for &country in &others {
-                let sanitized = &corpus.sanitized;
-                let classifier = &classifier;
-                let threat = &threat;
-                handles.push(scope.spawn(move |_| {
-                    let crawl = OpenWpmCrawler::new(
-                        world,
-                        CrawlConfig {
-                            country,
-                            corpus: CorpusLabel::Porn,
-                            store_dom: country == Country::Usa,
-                        },
-                    )
-                    .crawl(sanitized);
-                    let summary = geo::summarize(&crawl, classifier, threat);
-                    let keep = if country == Country::Usa {
-                        Some(crawl)
-                    } else {
-                        None
-                    };
-                    (summary, keep)
-                }));
-            }
-            for handle in handles {
-                let (summary, keep) = handle.join().expect("geo crawl thread");
-                if let Some(crawl) = keep {
-                    usa_crawl = Some(crawl);
-                }
-                summaries.push(summary);
-            }
-        })
-        .expect("crossbeam scope");
-        let table7 = geo::table7(&summaries, &regular_extract.third_party_fqdns);
-        let geo_malware = geo::geo_malware(&summaries);
-
-        // ---- Consent banners (§7.1, Table 8): EU (Spain) vs USA. ----
-        let oracle = InspectionOracle::new(&world.sites);
-        let verify = |domain: &str| oracle.confirm_banner(domain);
-        let (banners_eu, _) = consent::breakdown(&porn_es, &verify);
-        let banners_usa = match &usa_crawl {
-            Some(crawl) => consent::breakdown(crawl, &verify).0,
-            None => consent::breakdown(&porn_es, &verify).0,
-        };
-
-        // ---- Interaction crawl from Spain (§7.2/§7.3/§4.1). ----
-        let interactions_es = SeleniumCrawler::new(world, Country::Spain).crawl(&corpus.sanitized);
-
-        // ---- Policies (§7.3). ----
-        let (docs, sanitized_out) = policies::collect(&interactions_es);
-        let policy_report = policies::report(
-            &docs,
-            sanitized_out,
-            corpus.sanitized.len(),
-            config.max_policy_pairs,
-        );
-
-        // Polisis-style disclosure check over the top tracking sites
-        // (canvas fingerprinting + third-party ID cookies, §7.3).
-        let disclosure_check =
-            disclosure_check(&porn_extract, &cookie_rows, &fp, &docs, 25);
-
-        // ---- Ownership (§4.1, Table 1). ----
-        let ownership = owners::discover(
-            &docs,
-            &porn_es,
-            &world.whois,
-            &porn_histories,
-            corpus.sanitized.len(),
-        );
-
-        // ---- Monetization (§4.1) with the manual-labeling oracle. ----
-        let label = |domain: &str| {
-            oracle.label_subscription(domain).map(|l| match l {
-                redlight_websim::oracle::SubscriptionLabel::Free => {
-                    monetization::Subscription::Free
-                }
-                redlight_websim::oracle::SubscriptionLabel::Paid => {
-                    monetization::Subscription::Paid
-                }
-            })
-        };
-        let monetization_report = monetization::report(&interactions_es, Some(&label));
-
-        // ---- Age gates (§7.2): top-N from four countries. ----
-        let top: Vec<String> = ranked
-            .iter()
-            .take(config.agegate_top_n)
-            .cloned()
-            .collect();
-        let gate_countries = [Country::Usa, Country::Uk, Country::Spain, Country::Russia];
-        let mut per_country = Vec::new();
-        for country in gate_countries {
-            if country == Country::Spain {
-                // Reuse the Spanish interaction crawl, filtered to the top set.
-                per_country.push(
-                    interactions_es
-                        .iter()
-                        .filter(|r| top.contains(&r.domain))
-                        .cloned()
-                        .collect(),
-                );
-            } else {
-                per_country.push(SeleniumCrawler::new(world, country).crawl(&top));
-            }
-        }
-        let agegates = agegate::compare(&per_country);
-
-        StudyResults {
-            corpus: CorpusSummary {
-                from_directories: corpus.from_directories.len(),
-                from_adult_category: corpus.from_adult_category.len(),
-                from_keywords: corpus.from_keywords.len(),
-                candidates: corpus.candidates.len(),
-                false_positives: corpus.false_positives.len(),
-                sanitized: corpus.sanitized.len(),
-                regular_reference: corpus.reference_regular.len(),
-                manual_inspections: corpus.manual_inspections,
-            },
-            fig1,
-            ownership,
-            monetization: monetization_report,
-            table2,
-            table3,
-            fig3_porn,
-            fig3_regular,
-            attribution,
-            cookie_stats,
-            table4,
-            sync,
-            fingerprint: fp,
-            webrtc: rtc,
-            table5,
-            https: https_report,
-            malware: malware_report,
-            table7,
-            geo_malware,
-            banners_eu,
-            banners_usa,
-            agegates,
-            policies: policy_report,
-            disclosure_check,
+        // Layer 3: assemble results with the instrumentation report.
+        let best_ranks = ctx.best_ranks.clone();
+        outputs.into_results(
             best_ranks,
-        }
+            StageReport {
+                crawls: crawl_timings,
+                stages: stage_timings,
+            },
+        )
     }
-}
-
-/// The Spanish vantage point's public IP (what trackers embed in cookies).
-fn porn_es_client_ip(world: &World) -> std::net::Ipv4Addr {
-    let _ = world;
-    redlight_net::geoip::VantagePoint::study_default()
-        .into_iter()
-        .find(|v| v.country == Country::Spain)
-        .expect("Spain vantage point")
-        .client_ip
-}
-
-/// §7.3's Polisis pass: over the `top_n` porn sites with the heaviest
-/// observed tracking (canvas fingerprinting weighs heaviest, then
-/// third-party ID cookies), how many carry a policy disclosing cookies +
-/// data types + third parties, and how many name the complete embedded
-/// third-party list. Returns `(checked, disclosing, full list)`.
-fn disclosure_check(
-    extract: &thirdparty::ThirdPartyExtract,
-    cookie_rows: &[cookies::CookieRow],
-    fp: &redlight_analysis::fingerprint::FingerprintReport,
-    docs: &[policies::PolicyDoc],
-    top_n: usize,
-) -> (usize, usize, usize) {
-    let mut score: BTreeMap<&str, usize> = BTreeMap::new();
-    for row in cookie_rows.iter().filter(|r| r.third_party && cookies::is_id_cookie(r)) {
-        *score.entry(row.site.as_str()).or_default() += 1;
-    }
-    for site in &fp.canvas_sites {
-        *score.entry(site.as_str()).or_default() += 50;
-    }
-    let mut ranked: Vec<(&str, usize)> = score.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-
-    let checked = ranked.len().min(top_n);
-    let mut disclosing = 0usize;
-    let mut full_list = 0usize;
-    for (site, _) in ranked.into_iter().take(top_n) {
-        let Some(doc) = docs.iter().find(|d| d.site == site) else {
-            continue; // no policy at all: counted as non-disclosing
-        };
-        let ann = policies::annotate(&doc.text);
-        if ann.discloses_cookies && ann.discloses_data_types && ann.discloses_third_parties {
-            disclosing += 1;
-        }
-        let observed: Vec<String> = extract
-            .per_site
-            .get(site)
-            .map(|p| {
-                p.third
-                    .iter()
-                    .map(|f| redlight_net::psl::registrable_domain(f).to_string())
-                    .collect()
-            })
-            .unwrap_or_default();
-        if policies::discloses_full_list(&doc.text, &observed) {
-            full_list += 1;
-        }
-    }
-    (checked, disclosing, full_list)
 }
 
 #[cfg(test)]
@@ -430,18 +189,39 @@ mod tests {
     use super::*;
 
     #[test]
-    fn collect_db_gathers_both_crawls_and_interactions() {
+    fn collect_db_gathers_every_planned_crawl() {
         let world = World::build(WorldConfig::tiny(5));
-        let db = Study::collect_db(&world, false);
-        assert_eq!(db.crawls.len(), 2);
+        let config = StudyConfig::tiny(5);
+        let (db, timings) = Study::collect_db(&world, &config);
+
+        // tiny plan: Spain porn+regular, USA porn, Russia porn.
+        assert_eq!(db.crawls().len(), 4);
+        assert_eq!(
+            db.countries(),
+            vec![Country::Usa, Country::Spain, Country::Russia]
+        );
         assert!(db
             .crawl(Country::Spain, CorpusLabel::Porn)
-            .is_some_and(|c| c.success_count() > 0));
+            .is_some_and(|c| c.success_count() > 0 && !c.visits[0].visit.dom_html.is_empty()));
         assert!(db
             .crawl(Country::Spain, CorpusLabel::Regular)
             .is_some_and(|c| c.success_count() > 0));
-        assert!(!db.interactions.is_empty());
-        assert!(db.interactions_in(Country::Spain).count() > 0);
+        assert!(db
+            .crawl(Country::Russia, CorpusLabel::Porn)
+            .is_some_and(|c| c.visits[0].visit.dom_html.is_empty()));
+
+        // Interaction crawls: Spain full corpus + the other gate countries.
+        assert!(!db.interactions().is_empty());
+        for country in GATE_COUNTRIES {
+            assert!(
+                db.interactions_in(country).count() > 0,
+                "{country:?} gate crawl recorded"
+            );
+        }
+
+        // One timing per crawl: 4 OpenWPM + 4 Selenium.
+        assert_eq!(timings.len(), 8);
+        assert!(timings.iter().all(|t| t.sites > 0));
     }
 
     #[test]
@@ -453,5 +233,8 @@ mod tests {
         assert!(results.cookie_stats.total_cookies > 0);
         assert_eq!(results.table7.rows.len(), 3);
         assert!(results.policies.with_policy > 0);
+        // The instrumentation rides along: every crawl and stage timed.
+        assert_eq!(results.stage_report.crawls.len(), 8);
+        assert_eq!(results.stage_report.stages.len(), stages::STAGES.len());
     }
 }

@@ -196,7 +196,10 @@ mod tests {
             assert!(domain_has_keyword(d), "{d}");
         }
         for d in &report.from_directories {
-            assert!(!domain_has_keyword(d), "directory sites are brand-named: {d}");
+            assert!(
+                !domain_has_keyword(d),
+                "directory sites are brand-named: {d}"
+            );
         }
         for d in &report.from_directories {
             assert!(!report.from_adult_category.contains(d));

@@ -1,12 +1,15 @@
 //! The measurement database — this repository's stand-in for OpenWPM's
 //! SQLite store, plus the interaction crawler's records.
 
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
 use redlight_browser::PageVisit;
 use redlight_net::geoip::Country;
 use serde::{Deserialize, Serialize};
 
 /// Which corpus a crawl covered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum CorpusLabel {
     /// The pornographic corpus.
     Porn,
@@ -30,6 +33,10 @@ pub struct CrawlRecord {
     pub country: Country,
     /// Corpus.
     pub corpus: CorpusLabel,
+    /// The vantage point's public IPv4 address during this crawl — what
+    /// server-side trackers embed in cookies (§5.1.1), so the cookie and
+    /// HTTPS analyses need it alongside the visits.
+    pub client_ip: Ipv4Addr,
     /// Visits.
     pub visits: Vec<SiteVisitRecord>,
 }
@@ -75,12 +82,22 @@ pub struct InteractionRecord {
 }
 
 /// The whole study's collected data.
+///
+/// Fields are private so every insertion goes through [`push_crawl`] /
+/// [`push_interactions`] and the `(country, corpus)` lookup index can never
+/// go stale.
+///
+/// [`push_crawl`]: MeasurementDb::push_crawl
+/// [`push_interactions`]: MeasurementDb::push_interactions
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MeasurementDb {
     /// OpenWPM-style crawls (one per country × corpus).
-    pub crawls: Vec<CrawlRecord>,
-    /// Interaction-crawler records (one per country crawled interactively).
-    pub interactions: Vec<InteractionRecord>,
+    crawls: Vec<CrawlRecord>,
+    /// Interaction-crawler records (one per country × site crawled
+    /// interactively).
+    interactions: Vec<InteractionRecord>,
+    /// `(country, corpus)` → index into `crawls`.
+    crawl_index: BTreeMap<(Country, CorpusLabel), usize>,
 }
 
 impl MeasurementDb {
@@ -89,16 +106,59 @@ impl MeasurementDb {
         Self::default()
     }
 
-    /// The crawl for `(country, corpus)`, if recorded.
+    /// Records a crawl and indexes it. The first record for a `(country,
+    /// corpus)` pair wins the index slot (matching the previous linear-scan
+    /// semantics); duplicates stay reachable through [`crawls`].
+    ///
+    /// [`crawls`]: MeasurementDb::crawls
+    pub fn push_crawl(&mut self, crawl: CrawlRecord) {
+        let key = (crawl.country, crawl.corpus);
+        let idx = self.crawls.len();
+        self.crawls.push(crawl);
+        self.crawl_index.entry(key).or_insert(idx);
+    }
+
+    /// Appends interaction-crawler output.
+    pub fn push_interactions(&mut self, records: impl IntoIterator<Item = InteractionRecord>) {
+        self.interactions.extend(records);
+    }
+
+    /// All crawls, in insertion order.
+    pub fn crawls(&self) -> &[CrawlRecord] {
+        &self.crawls
+    }
+
+    /// All interaction records, in insertion order.
+    pub fn interactions(&self) -> &[InteractionRecord] {
+        &self.interactions
+    }
+
+    /// The crawl for `(country, corpus)`, if recorded — an indexed lookup,
+    /// not a scan.
     pub fn crawl(&self, country: Country, corpus: CorpusLabel) -> Option<&CrawlRecord> {
-        self.crawls
-            .iter()
-            .find(|c| c.country == country && c.corpus == corpus)
+        self.crawl_index
+            .get(&(country, corpus))
+            .map(|&i| &self.crawls[i])
+    }
+
+    /// Crawls recorded from one country (any corpus), in insertion order.
+    pub fn crawls_in(&self, country: Country) -> impl Iterator<Item = &CrawlRecord> {
+        self.crawls.iter().filter(move |c| c.country == country)
+    }
+
+    /// The distinct countries with at least one crawl, in ascending
+    /// [`Country`] order.
+    pub fn countries(&self) -> Vec<Country> {
+        let mut out: Vec<Country> = self.crawl_index.keys().map(|&(c, _)| c).collect();
+        out.dedup();
+        out
     }
 
     /// Interaction records for one country.
     pub fn interactions_in(&self, country: Country) -> impl Iterator<Item = &InteractionRecord> {
-        self.interactions.iter().filter(move |r| r.country == country)
+        self.interactions
+            .iter()
+            .filter(move |r| r.country == country)
     }
 }
 
@@ -107,31 +167,77 @@ mod tests {
     use super::*;
     use redlight_net::url::Url;
 
+    fn crawl_with(country: Country, corpus: CorpusLabel, domains: &[(&str, bool)]) -> CrawlRecord {
+        CrawlRecord {
+            country,
+            corpus,
+            client_ip: Ipv4Addr::new(203, 0, 113, 77),
+            visits: domains
+                .iter()
+                .map(|(d, ok)| SiteVisitRecord {
+                    domain: (*d).into(),
+                    visit: if *ok {
+                        PageVisit {
+                            success: true,
+                            ..PageVisit::failed(
+                                Url::parse(&format!("https://{d}/")).unwrap(),
+                                false,
+                            )
+                        }
+                    } else {
+                        PageVisit::failed(Url::parse(&format!("https://{d}/")).unwrap(), true)
+                    },
+                })
+                .collect(),
+        }
+    }
+
     #[test]
     fn crawl_lookup_and_success_counting() {
         let mut db = MeasurementDb::new();
-        let ok = PageVisit {
-            success: true,
-            ..PageVisit::failed(Url::parse("https://a.com/").unwrap(), false)
-        };
-        let fail = PageVisit::failed(Url::parse("https://b.com/").unwrap(), true);
-        db.crawls.push(CrawlRecord {
-            country: Country::Spain,
-            corpus: CorpusLabel::Porn,
-            visits: vec![
-                SiteVisitRecord {
-                    domain: "a.com".into(),
-                    visit: ok,
-                },
-                SiteVisitRecord {
-                    domain: "b.com".into(),
-                    visit: fail,
-                },
-            ],
-        });
+        db.push_crawl(crawl_with(
+            Country::Spain,
+            CorpusLabel::Porn,
+            &[("a.com", true), ("b.com", false)],
+        ));
         let crawl = db.crawl(Country::Spain, CorpusLabel::Porn).unwrap();
         assert_eq!(crawl.success_count(), 1);
         assert!(db.crawl(Country::Usa, CorpusLabel::Porn).is_none());
         assert_eq!(db.interactions_in(Country::Spain).count(), 0);
+    }
+
+    #[test]
+    fn index_tracks_every_pair_and_first_record_wins() {
+        let mut db = MeasurementDb::new();
+        db.push_crawl(crawl_with(
+            Country::Spain,
+            CorpusLabel::Porn,
+            &[("a.com", true)],
+        ));
+        db.push_crawl(crawl_with(
+            Country::Spain,
+            CorpusLabel::Regular,
+            &[("r.com", true)],
+        ));
+        db.push_crawl(crawl_with(
+            Country::Usa,
+            CorpusLabel::Porn,
+            &[("a.com", true)],
+        ));
+        // A duplicate pair: reachable through crawls(), but the lookup keeps
+        // returning the first record (the old linear scan's behavior).
+        db.push_crawl(crawl_with(Country::Spain, CorpusLabel::Porn, &[]));
+
+        assert_eq!(db.crawls().len(), 4);
+        assert_eq!(
+            db.crawl(Country::Spain, CorpusLabel::Porn)
+                .unwrap()
+                .visits
+                .len(),
+            1
+        );
+        assert_eq!(db.crawls_in(Country::Spain).count(), 3);
+        assert_eq!(db.crawls_in(Country::Usa).count(), 1);
+        assert_eq!(db.countries(), vec![Country::Usa, Country::Spain]);
     }
 }

@@ -12,10 +12,14 @@
 //!   detection and bypass (floating elements + 8-language keywords +
 //!   parent/grandparent verification), privacy-policy retrieval, and
 //!   monetization-signal collection;
-//! * [`db`] — the measurement database (the OpenWPM SQLite stand-in);
-//! * [`parallel`] — a crossbeam worker pool that runs per-country crawls
-//!   concurrently (countries are independent sessions; within a country the
-//!   session is sequential, preserving cookie-sync observability).
+//! * [`db`] — the measurement database (the OpenWPM SQLite stand-in),
+//!   indexed by country × corpus;
+//! * [`parallel`] — a crossbeam worker pool that runs independent crawl
+//!   jobs concurrently (crawls are independent sessions; within a crawl the
+//!   session is sequential, preserving cookie-sync observability);
+//! * [`plan`] — the [`CrawlPlan`](plan::CrawlPlan): every crawl a study
+//!   performs, declared as data and executed through one code path into a
+//!   [`MeasurementDb`] with per-crawl wall timings.
 
 #![warn(missing_docs)]
 
@@ -23,9 +27,11 @@ pub mod corpus;
 pub mod db;
 pub mod openwpm;
 pub mod parallel;
+pub mod plan;
 pub mod selenium;
 
 pub use corpus::{CorpusCompiler, CorpusReport};
 pub use db::{CrawlRecord, InteractionRecord, MeasurementDb, SiteVisitRecord};
 pub use openwpm::OpenWpmCrawler;
+pub use plan::{CrawlPlan, CrawlSpec, CrawlTiming, DomainSel, InteractionSpec, PlanDomains};
 pub use selenium::SeleniumCrawler;

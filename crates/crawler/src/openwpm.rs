@@ -41,6 +41,7 @@ impl<'w> OpenWpmCrawler<'w> {
     /// Crawls `domains` sequentially in one browser session.
     pub fn crawl(&self, domains: &[String]) -> CrawlRecord {
         let ctx = Browser::context_for(self.world, self.config.country, BrowserKind::OpenWpm);
+        let client_ip = ctx.client_ip;
         let mut browser = Browser::new(self.world, ctx);
         let mut visits = Vec::with_capacity(domains.len());
         for domain in domains {
@@ -59,6 +60,7 @@ impl<'w> OpenWpmCrawler<'w> {
         CrawlRecord {
             country: self.config.country,
             corpus: self.config.corpus,
+            client_ip,
             visits,
         }
     }
@@ -84,6 +86,13 @@ mod tests {
         );
         let crawl = crawler.crawl(&corpus.sanitized);
         assert_eq!(crawl.visits.len(), corpus.sanitized.len());
+        // The record carries the Spanish vantage point's public IP.
+        let spain_ip = redlight_net::geoip::VantagePoint::study_default()
+            .into_iter()
+            .find(|v| v.country == Country::Spain)
+            .unwrap()
+            .client_ip;
+        assert_eq!(crawl.client_ip, spain_ip);
         let expected_success = world
             .sites
             .iter()

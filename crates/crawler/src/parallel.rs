@@ -1,15 +1,97 @@
-//! Parallel per-country crawling.
+//! Parallel crawl execution.
 //!
-//! Countries are independent browser sessions, so they parallelize cleanly
-//! across a crossbeam scoped-thread pool; **within** one country the visits
+//! Crawls are independent browser sessions, so they parallelize cleanly
+//! across a crossbeam scoped-thread pool; **within** one crawl the visits
 //! stay sequential because the paper keeps a single browser session alive to
-//! observe cookie syncing (§3.1).
+//! observe cookie syncing (§3.1). Two job shapes exist: [`CrawlJob`] for
+//! OpenWPM-style sweeps (heterogeneous country × corpus × store-DOM
+//! configurations) and [`InteractionJob`] for Selenium-style interaction
+//! crawls. Both report per-job wall times for the stage report.
+
+use std::time::{Duration, Instant};
 
 use redlight_net::geoip::Country;
 use redlight_websim::World;
 
-use crate::db::{CorpusLabel, CrawlRecord};
+use crate::db::{CorpusLabel, CrawlRecord, InteractionRecord};
 use crate::openwpm::{CrawlConfig, OpenWpmCrawler};
+use crate::selenium::SeleniumCrawler;
+
+/// One OpenWPM-style crawl job: a full crawler configuration plus the
+/// domain list it sweeps.
+#[derive(Debug, Clone)]
+pub struct CrawlJob<'d> {
+    /// Crawler configuration.
+    pub config: CrawlConfig,
+    /// Domains to sweep.
+    pub domains: &'d [String],
+}
+
+/// Runs heterogeneous OpenWPM-style crawl jobs concurrently, returning each
+/// record with its wall time, in job order.
+pub fn run_crawl_jobs(world: &World, jobs: &[CrawlJob<'_>]) -> Vec<(CrawlRecord, Duration)> {
+    let mut slots: Vec<Option<(CrawlRecord, Duration)>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            handles.push((
+                i,
+                scope.spawn(move |_| {
+                    let start = Instant::now();
+                    let record = OpenWpmCrawler::new(world, job.config.clone()).crawl(job.domains);
+                    (record, start.elapsed())
+                }),
+            ));
+        }
+        for (i, handle) in handles {
+            slots[i] = Some(handle.join().expect("crawl thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    slots.into_iter().map(|s| s.expect("filled")).collect()
+}
+
+/// One Selenium-style interaction crawl job.
+#[derive(Debug, Clone)]
+pub struct InteractionJob<'d> {
+    /// Vantage point.
+    pub country: Country,
+    /// Domains to interact with.
+    pub domains: &'d [String],
+}
+
+/// Runs interaction crawl jobs concurrently, returning each country's
+/// records with the job's wall time, in job order.
+pub fn run_interaction_jobs(
+    world: &World,
+    jobs: &[InteractionJob<'_>],
+) -> Vec<(Vec<InteractionRecord>, Duration)> {
+    let mut slots: Vec<Option<(Vec<InteractionRecord>, Duration)>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            handles.push((
+                i,
+                scope.spawn(move |_| {
+                    let start = Instant::now();
+                    let records = SeleniumCrawler::new(world, job.country).crawl(job.domains);
+                    (records, start.elapsed())
+                }),
+            ));
+        }
+        for (i, handle) in handles {
+            slots[i] = Some(handle.join().expect("interaction thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    slots.into_iter().map(|s| s.expect("filled")).collect()
+}
 
 /// Runs one OpenWPM-style crawl per country concurrently, returning the
 /// records in `countries` order.
@@ -23,35 +105,21 @@ pub fn crawl_countries(
     corpus: CorpusLabel,
     store_dom_for: &[Country],
 ) -> Vec<CrawlRecord> {
-    let mut slots: Vec<Option<CrawlRecord>> = Vec::new();
-    slots.resize_with(countries.len(), || None);
-
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, &country) in countries.iter().enumerate() {
-            let store_dom = store_dom_for.contains(&country);
-            handles.push((
-                i,
-                scope.spawn(move |_| {
-                    OpenWpmCrawler::new(
-                        world,
-                        CrawlConfig {
-                            country,
-                            corpus,
-                            store_dom,
-                        },
-                    )
-                    .crawl(domains)
-                }),
-            ));
-        }
-        for (i, handle) in handles {
-            slots[i] = Some(handle.join().expect("crawl thread panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-
-    slots.into_iter().map(|s| s.expect("filled")).collect()
+    let jobs: Vec<CrawlJob<'_>> = countries
+        .iter()
+        .map(|&country| CrawlJob {
+            config: CrawlConfig {
+                country,
+                corpus,
+                store_dom: store_dom_for.contains(&country),
+            },
+            domains,
+        })
+        .collect();
+    run_crawl_jobs(world, &jobs)
+        .into_iter()
+        .map(|(record, _)| record)
+        .collect()
 }
 
 #[cfg(test)]
@@ -116,5 +184,50 @@ mod tests {
             .visits
             .iter()
             .all(|v| v.visit.dom_html.is_empty()));
+    }
+
+    #[test]
+    fn heterogeneous_jobs_keep_order_and_report_timings() {
+        let world = World::build(WorldConfig::tiny(63));
+        let corpus = CorpusCompiler::new(&world).compile();
+        let porn: Vec<String> = corpus.sanitized.iter().take(5).cloned().collect();
+        let regular: Vec<String> = corpus.reference_regular.iter().take(5).cloned().collect();
+
+        let jobs = [
+            CrawlJob {
+                config: CrawlConfig {
+                    country: Country::Spain,
+                    corpus: CorpusLabel::Porn,
+                    store_dom: true,
+                },
+                domains: &porn,
+            },
+            CrawlJob {
+                config: CrawlConfig {
+                    country: Country::Spain,
+                    corpus: CorpusLabel::Regular,
+                    store_dom: false,
+                },
+                domains: &regular,
+            },
+        ];
+        let results = run_crawl_jobs(&world, &jobs);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].0.corpus, CorpusLabel::Porn);
+        assert_eq!(results[1].0.corpus, CorpusLabel::Regular);
+        assert_eq!(results[0].0.visits.len(), porn.len());
+        assert_eq!(results[1].0.visits.len(), regular.len());
+        assert!(results.iter().all(|(_, wall)| *wall > Duration::ZERO));
+
+        let interactions = run_interaction_jobs(
+            &world,
+            &[InteractionJob {
+                country: Country::Usa,
+                domains: &porn,
+            }],
+        );
+        assert_eq!(interactions.len(), 1);
+        assert_eq!(interactions[0].0.len(), porn.len());
+        assert!(interactions[0].0.iter().all(|r| r.country == Country::Usa));
     }
 }

@@ -1,0 +1,269 @@
+//! The crawl plan — the collection layer's single entry point.
+//!
+//! A [`CrawlPlan`] declares every crawl a study performs: OpenWPM-style
+//! sweeps as country × corpus × store-DOM triples, and Selenium-style
+//! interaction crawls as country × domain-selector pairs. The plan itself
+//! is data; [`CrawlPlan::execute`] resolves the domain selectors against
+//! the compiled corpus, fans every crawl out through one code path
+//! ([`parallel`](crate::parallel)), and records it all — the Spanish main
+//! crawls, the geo sweep, the per-country age-gate crawls — into one
+//! [`MeasurementDb`], with per-crawl wall timings for the stage report.
+
+use std::time::Duration;
+
+use redlight_net::geoip::Country;
+use redlight_websim::World;
+
+use crate::db::{CorpusLabel, MeasurementDb};
+use crate::openwpm::CrawlConfig;
+use crate::parallel::{run_crawl_jobs, run_interaction_jobs, CrawlJob, InteractionJob};
+
+/// Which domain list a planned crawl sweeps. Selectors are resolved at
+/// execution time, so a plan can be built before the corpus is compiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainSel {
+    /// The sanitized porn corpus.
+    Porn,
+    /// The regular (reference) corpus.
+    Regular,
+    /// The most-popular porn subset manually studied for age gates (§7.2).
+    AgeGateTop,
+}
+
+/// One planned OpenWPM-style crawl.
+#[derive(Debug, Clone)]
+pub struct CrawlSpec {
+    /// Crawler configuration (country × corpus × store-DOM).
+    pub config: CrawlConfig,
+    /// Domain list to sweep.
+    pub domains: DomainSel,
+}
+
+/// One planned interaction crawl.
+#[derive(Debug, Clone)]
+pub struct InteractionSpec {
+    /// Vantage point.
+    pub country: Country,
+    /// Domain list to interact with.
+    pub domains: DomainSel,
+}
+
+/// The concrete domain lists a plan's selectors resolve against.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanDomains<'a> {
+    /// The sanitized porn corpus.
+    pub porn: &'a [String],
+    /// The regular reference corpus.
+    pub regular: &'a [String],
+    /// The top-N porn sites by best historical rank.
+    pub agegate_top: &'a [String],
+}
+
+impl PlanDomains<'_> {
+    fn resolve(&self, sel: DomainSel) -> &[String] {
+        match sel {
+            DomainSel::Porn => self.porn,
+            DomainSel::Regular => self.regular,
+            DomainSel::AgeGateTop => self.agegate_top,
+        }
+    }
+}
+
+/// Wall time and size of one executed crawl.
+#[derive(Debug, Clone)]
+pub struct CrawlTiming {
+    /// `"openwpm"` or `"selenium"`.
+    pub crawler: &'static str,
+    /// Vantage point.
+    pub country: Country,
+    /// Corpus swept (OpenWPM crawls only).
+    pub corpus: Option<CorpusLabel>,
+    /// Number of sites the crawl covered.
+    pub sites: usize,
+    /// Wall-clock duration of the crawl.
+    pub wall: Duration,
+}
+
+/// Every crawl one study performs.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlPlan {
+    /// OpenWPM-style sweeps, in recording order.
+    pub openwpm: Vec<CrawlSpec>,
+    /// Interaction crawls, in recording order.
+    pub interactions: Vec<InteractionSpec>,
+}
+
+impl CrawlPlan {
+    /// Executes every planned crawl — concurrently across crawls, via the
+    /// shared [`parallel`](crate::parallel) fan-out — and records the
+    /// results into a fresh [`MeasurementDb`] in plan order, returning it
+    /// with one [`CrawlTiming`] per crawl.
+    pub fn execute(
+        &self,
+        world: &World,
+        domains: PlanDomains<'_>,
+    ) -> (MeasurementDb, Vec<CrawlTiming>) {
+        let crawl_jobs: Vec<CrawlJob<'_>> = self
+            .openwpm
+            .iter()
+            .map(|spec| CrawlJob {
+                config: spec.config.clone(),
+                domains: domains.resolve(spec.domains),
+            })
+            .collect();
+        let interaction_jobs: Vec<InteractionJob<'_>> = self
+            .interactions
+            .iter()
+            .map(|spec| InteractionJob {
+                country: spec.country,
+                domains: domains.resolve(spec.domains),
+            })
+            .collect();
+
+        let mut db = MeasurementDb::new();
+        let mut timings = Vec::with_capacity(crawl_jobs.len() + interaction_jobs.len());
+        for (record, wall) in run_crawl_jobs(world, &crawl_jobs) {
+            timings.push(CrawlTiming {
+                crawler: "openwpm",
+                country: record.country,
+                corpus: Some(record.corpus),
+                sites: record.visits.len(),
+                wall,
+            });
+            db.push_crawl(record);
+        }
+        for (spec, (records, wall)) in self
+            .interactions
+            .iter()
+            .zip(run_interaction_jobs(world, &interaction_jobs))
+        {
+            timings.push(CrawlTiming {
+                crawler: "selenium",
+                country: spec.country,
+                corpus: None,
+                sites: records.len(),
+                wall,
+            });
+            db.push_interactions(records);
+        }
+        (db, timings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusCompiler;
+    use crate::openwpm::OpenWpmCrawler;
+    use redlight_websim::WorldConfig;
+
+    #[test]
+    fn plan_records_every_crawl_with_timings() {
+        let world = World::build(WorldConfig::tiny(81));
+        let corpus = CorpusCompiler::new(&world).compile();
+        let top: Vec<String> = corpus.sanitized.iter().take(4).cloned().collect();
+        let plan = CrawlPlan {
+            openwpm: vec![
+                CrawlSpec {
+                    config: CrawlConfig {
+                        country: Country::Spain,
+                        corpus: CorpusLabel::Porn,
+                        store_dom: true,
+                    },
+                    domains: DomainSel::Porn,
+                },
+                CrawlSpec {
+                    config: CrawlConfig {
+                        country: Country::Spain,
+                        corpus: CorpusLabel::Regular,
+                        store_dom: false,
+                    },
+                    domains: DomainSel::Regular,
+                },
+                CrawlSpec {
+                    config: CrawlConfig {
+                        country: Country::Russia,
+                        corpus: CorpusLabel::Porn,
+                        store_dom: false,
+                    },
+                    domains: DomainSel::Porn,
+                },
+            ],
+            interactions: vec![
+                InteractionSpec {
+                    country: Country::Spain,
+                    domains: DomainSel::Porn,
+                },
+                InteractionSpec {
+                    country: Country::Uk,
+                    domains: DomainSel::AgeGateTop,
+                },
+            ],
+        };
+
+        let (db, timings) = plan.execute(
+            &world,
+            PlanDomains {
+                porn: &corpus.sanitized,
+                regular: &corpus.reference_regular,
+                agegate_top: &top,
+            },
+        );
+
+        assert_eq!(db.crawls().len(), 3);
+        assert_eq!(timings.len(), 5);
+        assert_eq!(db.countries(), vec![Country::Spain, Country::Russia]);
+        let porn_es = db.crawl(Country::Spain, CorpusLabel::Porn).unwrap();
+        assert_eq!(porn_es.visits.len(), corpus.sanitized.len());
+        assert!(porn_es.visits.iter().any(|v| !v.visit.dom_html.is_empty()));
+        let porn_ru = db.crawl(Country::Russia, CorpusLabel::Porn).unwrap();
+        assert!(porn_ru.visits.iter().all(|v| v.visit.dom_html.is_empty()));
+        assert_eq!(
+            db.interactions_in(Country::Spain).count(),
+            corpus.sanitized.len()
+        );
+        assert_eq!(db.interactions_in(Country::Uk).count(), top.len());
+        assert!(timings
+            .iter()
+            .filter(|t| t.crawler == "selenium")
+            .all(|t| t.corpus.is_none() && t.sites > 0));
+    }
+
+    #[test]
+    fn plan_execution_matches_direct_crawling() {
+        // The single code path must reproduce exactly what a hand-rolled
+        // crawler invocation records (determinism across entry points).
+        let world = World::build(WorldConfig::tiny(82));
+        let corpus = CorpusCompiler::new(&world).compile();
+        let config = CrawlConfig {
+            country: Country::Usa,
+            corpus: CorpusLabel::Porn,
+            store_dom: true,
+        };
+        let plan = CrawlPlan {
+            openwpm: vec![CrawlSpec {
+                config: config.clone(),
+                domains: DomainSel::Porn,
+            }],
+            interactions: vec![],
+        };
+        let (db, _) = plan.execute(
+            &world,
+            PlanDomains {
+                porn: &corpus.sanitized,
+                regular: &[],
+                agegate_top: &[],
+            },
+        );
+        let direct = OpenWpmCrawler::new(&world, config).crawl(&corpus.sanitized);
+        let planned = db.crawl(Country::Usa, CorpusLabel::Porn).unwrap();
+        assert_eq!(planned.client_ip, direct.client_ip);
+        assert_eq!(planned.visits.len(), direct.visits.len());
+        for (a, b) in planned.visits.iter().zip(&direct.visits) {
+            assert_eq!(a.domain, b.domain);
+            assert_eq!(a.visit.success, b.visit.success);
+            assert_eq!(a.visit.requests.len(), b.visit.requests.len());
+            assert_eq!(a.visit.dom_html, b.visit.dom_html);
+        }
+    }
+}

@@ -160,7 +160,9 @@ fn detect_age_gate(doc: &Document) -> Option<GateAction> {
         }
         // Affirmative button inside the floating element?
         for node in doc.subtree(float_id) {
-            let Some(el) = doc.element(node) else { continue };
+            let Some(el) = doc.element(node) else {
+                continue;
+            };
             if el.tag != "button" && el.tag != "a" {
                 continue;
             }
@@ -171,9 +173,10 @@ fn detect_age_gate(doc: &Document) -> Option<GateAction> {
             // Parent/grandparent verification: the surrounding context must
             // actually be an age warning, not ordinary page copy.
             let ancestors = doc.ancestors(node);
-            let verified = ancestors.iter().take(3).any(|&a| {
-                lang::matches_age_warning(&doc.text_content(a))
-            });
+            let verified = ancestors
+                .iter()
+                .take(3)
+                .any(|&a| lang::matches_age_warning(&doc.text_content(a)));
             if !verified {
                 continue;
             }
@@ -270,11 +273,7 @@ mod tests {
         let plain = world
             .sites
             .iter()
-            .find(|s| {
-                s.is_porn()
-                    && !s.unresponsive
-                    && s.age_gate.default.is_none()
-            })
+            .find(|s| s.is_porn() && !s.unresponsive && s.age_gate.default.is_none())
             .unwrap();
         let rec = crawl_one(&world, &plain.domain, Country::Spain);
         assert!(rec.reachable);
@@ -288,13 +287,15 @@ mod tests {
             .sites
             .iter()
             .find(|s| {
-                s.is_porn()
-                    && !s.unresponsive
-                    && s.policy.as_ref().is_some_and(|p| !p.broken)
+                s.is_porn() && !s.unresponsive && s.policy.as_ref().is_some_and(|p| !p.broken)
             })
             .unwrap();
         let rec = crawl_one(&world, &site.domain, Country::Spain);
-        assert!(rec.policy_url.is_some(), "policy link missed on {}", site.domain);
+        assert!(
+            rec.policy_url.is_some(),
+            "policy link missed on {}",
+            site.domain
+        );
         let text = rec.policy_text.expect("policy fetch succeeded");
         assert!(text.len() > 400, "policy too short: {}", text.len());
     }
@@ -302,11 +303,9 @@ mod tests {
     #[test]
     fn broken_policy_links_yield_no_text() {
         let world = World::build(WorldConfig::small(56));
-        let Some(site) = world
-            .sites
-            .iter()
-            .find(|s| s.is_porn() && !s.unresponsive && s.policy.as_ref().is_some_and(|p| p.broken))
-        else {
+        let Some(site) = world.sites.iter().find(|s| {
+            s.is_porn() && !s.unresponsive && s.policy.as_ref().is_some_and(|p| p.broken)
+        }) else {
             return;
         };
         let rec = crawl_one(&world, &site.domain, Country::Spain);

@@ -47,10 +47,7 @@ pub fn parse(html: &str) -> Document {
                     current,
                     NodeKind::Element(ElementData {
                         tag: name.clone(),
-                        attributes: attributes
-                            .into_iter()
-                            .map(|a| (a.name, a.value))
-                            .collect(),
+                        attributes: attributes.into_iter().map(|a| (a.name, a.value)).collect(),
                     }),
                 );
                 if !self_closing && !is_void(&name) {
@@ -120,7 +117,8 @@ mod tests {
 
     #[test]
     fn script_bodies_survive_verbatim() {
-        let doc = parse("<script src='t.js'></script><script>canvas.fillText('x<y', 0, 0)</script>");
+        let doc =
+            parse("<script src='t.js'></script><script>canvas.fillText('x<y', 0, 0)</script>");
         let scripts = query::by_tag(&doc, "script");
         assert_eq!(scripts.len(), 2);
         assert_eq!(doc.element(scripts[0]).unwrap().attr("src"), Some("t.js"));

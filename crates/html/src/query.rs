@@ -56,7 +56,9 @@ pub fn subresources(doc: &Document) -> Vec<(String, String)> {
                 }
             }
             "link" => {
-                let is_css = e.attr("rel").is_some_and(|r| r.eq_ignore_ascii_case("stylesheet"));
+                let is_css = e
+                    .attr("rel")
+                    .is_some_and(|r| r.eq_ignore_ascii_case("stylesheet"));
                 if is_css {
                     if let Some(href) = e.attr("href") {
                         if !href.is_empty() {

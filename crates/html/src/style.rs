@@ -77,7 +77,9 @@ pub fn is_floating(doc: &Document, id: NodeId) -> bool {
 
 /// All floating elements of a document, pre-order.
 pub fn floating_elements(doc: &Document) -> Vec<NodeId> {
-    doc.descendants().filter(|&id| is_floating(doc, id)).collect()
+    doc.descendants()
+        .filter(|&id| is_floating(doc, id))
+        .collect()
 }
 
 #[cfg(test)]

@@ -265,9 +265,7 @@ fn parse_start_tag(input: &str) -> Option<(Token, usize)> {
                         i = (i + 1).min(bytes.len());
                     } else {
                         let v_start = i;
-                        while i < bytes.len()
-                            && !bytes[i].is_ascii_whitespace()
-                            && bytes[i] != b'>'
+                        while i < bytes.len() && !bytes[i].is_ascii_whitespace() && bytes[i] != b'>'
                         {
                             i += 1;
                         }
@@ -312,7 +310,12 @@ mod tests {
         assert_eq!(toks.len(), 5);
         assert_eq!(start(&toks, 0).0, "html");
         assert_eq!(toks[2], Token::Text("Hello".into()));
-        assert_eq!(toks[4], Token::EndTag { name: "html".into() });
+        assert_eq!(
+            toks[4],
+            Token::EndTag {
+                name: "html".into()
+            }
+        );
     }
 
     #[test]
@@ -332,7 +335,12 @@ mod tests {
         let toks = tokenize("<script>if (a < b) { x = '<div>'; }</script><p>after</p>");
         assert_eq!(start(&toks, 0).0, "script");
         assert_eq!(toks[1], Token::Text("if (a < b) { x = '<div>'; }".into()));
-        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(
+            toks[2],
+            Token::EndTag {
+                name: "script".into()
+            }
+        );
         assert_eq!(start(&toks, 3).0, "p");
     }
 

@@ -7,10 +7,8 @@
 
 use crate::error::NetError;
 
-const STD_ALPHABET: &[u8; 64] =
-    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
-const URL_ALPHABET: &[u8; 64] =
-    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+const STD_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+const URL_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
 
 fn b64_encode_with(data: &[u8], alphabet: &[u8; 64], pad: bool) -> String {
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
@@ -126,8 +124,16 @@ pub fn percent_encode(input: &str) -> String {
             out.push(b as char);
         } else {
             out.push('%');
-            out.push(char::from_digit((b >> 4) as u32, 16).unwrap().to_ascii_uppercase());
-            out.push(char::from_digit((b & 15) as u32, 16).unwrap().to_ascii_uppercase());
+            out.push(
+                char::from_digit((b >> 4) as u32, 16)
+                    .unwrap()
+                    .to_ascii_uppercase(),
+            );
+            out.push(
+                char::from_digit((b & 15) as u32, 16)
+                    .unwrap()
+                    .to_ascii_uppercase(),
+            );
         }
     }
     out
@@ -188,7 +194,14 @@ mod tests {
 
     #[test]
     fn base64_roundtrip() {
-        for data in [&b""[..], b"a", b"ab", b"abc", b"\x00\xff\x7f", b"192.168.1.1|uid=42"] {
+        for data in [
+            &b""[..],
+            b"a",
+            b"ab",
+            b"abc",
+            b"\x00\xff\x7f",
+            b"192.168.1.1|uid=42",
+        ] {
             assert_eq!(base64_decode(&base64_encode(data)).unwrap(), data);
         }
     }
@@ -215,7 +228,10 @@ mod tests {
         let dec = base64_decode_lossy_text(&enc).unwrap();
         assert!(dec.contains("203.0.113.9"));
         // Binary payloads are rejected.
-        assert_eq!(base64_decode_lossy_text(&base64_encode(&[0, 1, 2, 3])), None);
+        assert_eq!(
+            base64_decode_lossy_text(&base64_encode(&[0, 1, 2, 3])),
+            None
+        );
         // Too-short inputs are rejected.
         assert_eq!(base64_decode_lossy_text("ab"), None);
     }

@@ -216,9 +216,8 @@ mod tests {
 
     #[test]
     fn max_age_wins_over_expires() {
-        let c =
-            Cookie::parse_set_cookie("a=b; Max-Age=60; Expires=Wed, 21 Oct 2026 07:28:00 GMT")
-                .unwrap();
+        let c = Cookie::parse_set_cookie("a=b; Max-Age=60; Expires=Wed, 21 Oct 2026 07:28:00 GMT")
+            .unwrap();
         assert_eq!(c.max_age, Some(60));
     }
 

@@ -67,7 +67,9 @@ impl DnsDb {
 
     /// Nameservers of `fqdn`, empty when unknown.
     pub fn nameservers(&self, fqdn: &str) -> &[String] {
-        self.resolve(fqdn).map(|r| r.nameservers.as_slice()).unwrap_or(&[])
+        self.resolve(fqdn)
+            .map(|r| r.nameservers.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of records.
@@ -113,7 +115,10 @@ mod tests {
                 cname: Some("collect.tracker.net".into()),
             },
         );
-        db.insert("collect.tracker.net", rec([198, 51, 100, 7], &["ns.tracker.net"]));
+        db.insert(
+            "collect.tracker.net",
+            rec([198, 51, 100, 7], &["ns.tracker.net"]),
+        );
         assert_eq!(
             db.resolve("metrics.site.com").unwrap().address,
             Ipv4Addr::new(198, 51, 100, 7)

@@ -52,8 +52,7 @@ impl StoredCookie {
             return true;
         }
         if path.starts_with(&self.path) {
-            return self.path.ends_with('/')
-                || path.as_bytes().get(self.path.len()) == Some(&b'/');
+            return self.path.ends_with('/') || path.as_bytes().get(self.path.len()) == Some(&b'/');
         }
         false
     }
@@ -102,10 +101,7 @@ impl CookieJar {
                 (d.clone(), false)
             }
         };
-        let path = cookie
-            .path
-            .clone()
-            .unwrap_or_else(|| default_path(origin));
+        let path = cookie.path.clone().unwrap_or_else(|| default_path(origin));
 
         let key = psl::registrable_domain(&domain).to_string();
         let bucket = self.buckets.entry(key).or_default();
@@ -246,7 +242,10 @@ mod tests {
     #[test]
     fn default_path_is_request_directory() {
         let mut jar = CookieJar::new();
-        jar.store(Cookie::new("d", "1"), &url("https://site.com/a/b/page.html"));
+        jar.store(
+            Cookie::new("d", "1"),
+            &url("https://site.com/a/b/page.html"),
+        );
         assert_eq!(jar.all().next().unwrap().path, "/a/b");
         let mut jar2 = CookieJar::new();
         jar2.store(Cookie::new("d", "1"), &url("https://site.com/"));
@@ -266,7 +265,10 @@ mod tests {
     fn zero_max_age_deletes() {
         let mut jar = CookieJar::new();
         jar.store(Cookie::new("uid", "x"), &url("https://t.com/"));
-        jar.store(Cookie::new("uid", "x").with_max_age(0), &url("https://t.com/"));
+        jar.store(
+            Cookie::new("uid", "x").with_max_age(0),
+            &url("https://t.com/"),
+        );
         assert!(jar.is_empty());
     }
 

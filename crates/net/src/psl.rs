@@ -10,9 +10,9 @@
 /// Multi-label public suffixes known to the embedded list, each expressed as
 /// the suffix string *without* a leading dot.
 const MULTI_LABEL_SUFFIXES: &[&str] = &[
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.ru", "com.br", "com.au", "co.jp", "co.in",
-    "com.sg", "com.es", "com.mx", "co.za", "com.tr", "com.ar", "net.ru", "org.ru", "in.ua",
-    "com.ua", "com.cn",
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.ru", "com.br", "com.au", "co.jp", "co.in", "com.sg",
+    "com.es", "com.mx", "co.za", "com.tr", "com.ar", "net.ru", "org.ru", "in.ua", "com.ua",
+    "com.cn",
 ];
 
 /// Single-label suffixes (TLDs) recognized by the embedded list. Unknown
@@ -20,8 +20,8 @@ const MULTI_LABEL_SUFFIXES: &[&str] = &[
 /// list only needs to exist for documentation and tests.
 const KNOWN_TLDS: &[&str] = &[
     "com", "net", "org", "info", "biz", "xxx", "sex", "porn", "adult", "tv", "cc", "io", "me",
-    "ru", "uk", "de", "fr", "es", "it", "nl", "eu", "us", "ca", "in", "sg", "jp", "br", "pl",
-    "ro", "pt", "top", "party", "club", "online", "site", "live", "pro", "vip", "red",
+    "ru", "uk", "de", "fr", "es", "it", "nl", "eu", "us", "ca", "in", "sg", "jp", "br", "pl", "ro",
+    "pt", "top", "party", "club", "online", "site", "live", "pro", "vip", "red",
 ];
 
 /// Returns `true` when `domain` (normalized, lowercase) is exactly a public
@@ -51,19 +51,14 @@ pub fn registrable_domain(host: &str) -> &str {
     }
     // Try the longest matching public suffix first (2 labels, then 1).
     if labels.len() >= 2 {
-        let two = &host[host.len()
-            - labels[labels.len() - 2].len()
-            - 1
-            - labels[labels.len() - 1].len()..];
+        let two = &host
+            [host.len() - labels[labels.len() - 2].len() - 1 - labels[labels.len() - 1].len()..];
         if MULTI_LABEL_SUFFIXES.contains(&two) {
             if labels.len() == 2 {
                 // The host *is* a suffix (e.g. "co.uk").
                 return host;
             }
-            let start = host.len()
-                - labels[labels.len() - 3].len()
-                - 1
-                - two.len();
+            let start = host.len() - labels[labels.len() - 3].len() - 1 - two.len();
             return &host[start..];
         }
     }

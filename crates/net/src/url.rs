@@ -102,7 +102,12 @@ impl Url {
             return Url::parse(&format!("{}://{}", self.scheme, rest));
         }
         if reference.starts_with('/') {
-            return Url::parse(&format!("{}://{}{}", self.scheme, self.authority(), reference));
+            return Url::parse(&format!(
+                "{}://{}{}",
+                self.scheme,
+                self.authority(),
+                reference
+            ));
         }
         // Relative path: replace everything after the final '/'.
         let base = match self.path.rfind('/') {

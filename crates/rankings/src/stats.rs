@@ -81,17 +81,38 @@ mod tests {
 
     #[test]
     fn tier_boundaries() {
-        assert_eq!(PopularityTier::from_best_rank(Some(1)), PopularityTier::Top1k);
-        assert_eq!(PopularityTier::from_best_rank(Some(1_000)), PopularityTier::Top1k);
-        assert_eq!(PopularityTier::from_best_rank(Some(1_001)), PopularityTier::To10k);
-        assert_eq!(PopularityTier::from_best_rank(Some(10_000)), PopularityTier::To10k);
-        assert_eq!(PopularityTier::from_best_rank(Some(10_001)), PopularityTier::To100k);
-        assert_eq!(PopularityTier::from_best_rank(Some(100_000)), PopularityTier::To100k);
+        assert_eq!(
+            PopularityTier::from_best_rank(Some(1)),
+            PopularityTier::Top1k
+        );
+        assert_eq!(
+            PopularityTier::from_best_rank(Some(1_000)),
+            PopularityTier::Top1k
+        );
+        assert_eq!(
+            PopularityTier::from_best_rank(Some(1_001)),
+            PopularityTier::To10k
+        );
+        assert_eq!(
+            PopularityTier::from_best_rank(Some(10_000)),
+            PopularityTier::To10k
+        );
+        assert_eq!(
+            PopularityTier::from_best_rank(Some(10_001)),
+            PopularityTier::To100k
+        );
+        assert_eq!(
+            PopularityTier::from_best_rank(Some(100_000)),
+            PopularityTier::To100k
+        );
         assert_eq!(
             PopularityTier::from_best_rank(Some(100_001)),
             PopularityTier::Beyond100k
         );
-        assert_eq!(PopularityTier::from_best_rank(None), PopularityTier::Beyond100k);
+        assert_eq!(
+            PopularityTier::from_best_rank(None),
+            PopularityTier::Beyond100k
+        );
     }
 
     #[test]

@@ -20,7 +20,8 @@ impl Table {
 
     /// Appends one row (stringified cells).
     pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut Table {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
@@ -36,9 +37,10 @@ impl Table {
 
     /// Renders with column alignment.
     pub fn render(&self) -> String {
-        let ncols = self.header.len().max(
-            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
-        );
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; ncols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());
@@ -87,7 +89,13 @@ impl Table {
             .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let cell = |cells: &[String]| -> String {
             let body = (0..ncols)
-                .map(|i| cells.get(i).map(String::as_str).unwrap_or("").replace('|', "\\|"))
+                .map(|i| {
+                    cells
+                        .get(i)
+                        .map(String::as_str)
+                        .unwrap_or("")
+                        .replace('|', "\\|")
+                })
                 .collect::<Vec<_>>()
                 .join(" | ");
             format!("| {body} |")

@@ -46,7 +46,10 @@ mod tests {
     #[test]
     fn collecting_host_records_and_replays() {
         let mut h = CollectingHost {
-            responses: vec![("navigator.userAgent".into(), Value::Str("Firefox/52".into()))],
+            responses: vec![(
+                "navigator.userAgent".into(),
+                Value::Str("Firefox/52".into()),
+            )],
             ..Default::default()
         };
         let ua = h.call("navigator.userAgent", &[]);

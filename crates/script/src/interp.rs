@@ -224,19 +224,13 @@ impl Interp<'_> {
             BinOp::Add => match (&l, &r) {
                 (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
                 // `+` with any string operand concatenates, like JS.
-                (Value::Str(_), _) | (_, Value::Str(_)) => {
-                    Ok(Value::Str(format!("{l}{r}")))
-                }
+                (Value::Str(_), _) | (_, Value::Str(_)) => Ok(Value::Str(format!("{l}{r}"))),
                 _ => Err(ScriptError::Type(format!("cannot add {l} and {r}"))),
             },
             BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
                 let (a, b) = match (l.as_int(), r.as_int()) {
                     (Some(a), Some(b)) => (a, b),
-                    _ => {
-                        return Err(ScriptError::Type(
-                            "arithmetic requires integers".into(),
-                        ))
-                    }
+                    _ => return Err(ScriptError::Type("arithmetic requires integers".into())),
                 };
                 match op {
                     BinOp::Sub => Ok(Value::Int(a.wrapping_sub(b))),
@@ -264,11 +258,7 @@ impl Interp<'_> {
                 let ord = match (&l, &r) {
                     (Value::Int(a), Value::Int(b)) => a.cmp(b),
                     (Value::Str(a), Value::Str(b)) => a.cmp(b),
-                    _ => {
-                        return Err(ScriptError::Type(format!(
-                            "cannot compare {l} and {r}"
-                        )))
-                    }
+                    _ => return Err(ScriptError::Type(format!("cannot compare {l} and {r}"))),
                 };
                 Ok(Value::Bool(match op {
                     BinOp::Lt => ord.is_lt(),
@@ -370,11 +360,20 @@ mod tests {
     #[test]
     fn builtins() {
         assert_eq!(eval_return("return len('abcd');"), Value::Int(4));
-        assert_eq!(eval_return("return substr('abcdef', 1, 4);"), Value::Str("bcd".into()));
+        assert_eq!(
+            eval_return("return substr('abcdef', 1, 4);"),
+            Value::Str("bcd".into())
+        );
         assert_eq!(eval_return("return chr(65);"), Value::Str("A".into()));
-        assert_eq!(eval_return("return str(12) + str(true);"), Value::Str("12true".into()));
+        assert_eq!(
+            eval_return("return str(12) + str(true);"),
+            Value::Str("12true".into())
+        );
         // substr clamps out-of-range indices.
-        assert_eq!(eval_return("return substr('ab', 5, 9);"), Value::Str("".into()));
+        assert_eq!(
+            eval_return("return substr('ab', 5, 9);"),
+            Value::Str("".into())
+        );
     }
 
     #[test]
@@ -404,10 +403,7 @@ mod tests {
     #[test]
     fn runtime_errors() {
         let mut h = CollectingHost::default();
-        assert_eq!(
-            run("return 1 / 0;", &mut h),
-            Err(ScriptError::DivideByZero)
-        );
+        assert_eq!(run("return 1 / 0;", &mut h), Err(ScriptError::DivideByZero));
         assert!(matches!(
             run("return missing;", &mut h),
             Err(ScriptError::Undefined(_))

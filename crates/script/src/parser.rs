@@ -141,9 +141,7 @@ impl Parser {
                 }
             }
             // Assignment vs expression statement: IDENT '=' …
-            Some(Tok::Ident(_))
-                if self.toks.get(self.pos + 1) == Some(&Tok::Assign) =>
-            {
+            Some(Tok::Ident(_)) if self.toks.get(self.pos + 1) == Some(&Tok::Assign) => {
                 let name = self.ident()?;
                 self.pos += 1; // '='
                 let value = self.expr()?;
@@ -347,7 +345,11 @@ mod tests {
                 assert_eq!(name, "x");
                 // 1 + (2*3)
                 match value {
-                    Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    } => {
                         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                     }
                     other => panic!("wrong tree: {other:?}"),

@@ -105,7 +105,11 @@ pub fn all_packs() -> impl Iterator<Item = &'static LanguagePack> {
 /// of the eight languages (case-insensitive).
 pub fn matches_affirmative(text: &str) -> bool {
     let lower = text.to_lowercase();
-    all_packs().any(|p| p.affirmative.iter().any(|k| lower.contains(&k.to_lowercase())))
+    all_packs().any(|p| {
+        p.affirmative
+            .iter()
+            .any(|k| lower.contains(&k.to_lowercase()))
+    })
 }
 
 /// Returns `true` when `text` looks like a privacy-policy link label or URL
@@ -136,7 +140,11 @@ pub fn matches_premium(text: &str) -> bool {
 /// Returns `true` when `text` contains adult-content warning vocabulary.
 pub fn matches_age_warning(text: &str) -> bool {
     let lower = text.to_lowercase();
-    all_packs().any(|p| p.age_warning.iter().any(|k| lower.contains(&k.to_lowercase())))
+    all_packs().any(|p| {
+        p.age_warning
+            .iter()
+            .any(|k| lower.contains(&k.to_lowercase()))
+    })
 }
 
 static EN: LanguagePack = LanguagePack {
@@ -163,7 +171,12 @@ static FR: LanguagePack = LanguagePack {
     language: Language::French,
     affirmative: &["oui", "entrer", "j'accepte", "continuer", "accepter"],
     privacy: &["confidentialité", "politique", "vie privée"],
-    cookie: &["cookie", "cookies", "consentement", "nous utilisons des cookies"],
+    cookie: &[
+        "cookie",
+        "cookies",
+        "consentement",
+        "nous utilisons des cookies",
+    ],
     account: &["connexion", "s'inscrire", "se connecter"],
     premium: &["premium", "abonnement", "adhésion"],
     age_warning: &["18", "adulte", "âge", "majeur"],

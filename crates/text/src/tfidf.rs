@@ -128,7 +128,11 @@ impl TfIdfModel {
             })
             .collect();
 
-        Self { vocab, idf, vectors }
+        Self {
+            vocab,
+            idf,
+            vectors,
+        }
     }
 
     /// Number of documents the model was fitted on.

@@ -216,22 +216,40 @@ pub fn build(config: &WorldConfig) -> Catalog {
     // ---- Alphabet (74 % of porn sites via the union of its services). ----
     let alphabet = b.org("Alphabet", OrgKind::AdNetwork, false);
     let ga = b
-        .svc(alphabet, "Google Analytics", "google-analytics.com", ServiceCategory::Analytics)
+        .svc(
+            alphabet,
+            "Google Analytics",
+            "google-analytics.com",
+            ServiceCategory::Analytics,
+        )
         .flat(0.39, 0.65)
         .list(ListCoverage::DomainWide)
         .disconnect()
         .cert("Alphabet Inc.")
         .build();
     let doubleclick = b
-        .svc(alphabet, "DoubleClick", "doubleclick.net", ServiceCategory::AdNetwork)
+        .svc(
+            alphabet,
+            "DoubleClick",
+            "doubleclick.net",
+            ServiceCategory::AdNetwork,
+        )
         .adoption([0.35, 0.20, 0.11, 0.08], [0.60; 4])
-        .cookies(CookieBehavior { cookies_per_visit: 2, ..CookieBehavior::uid(22) })
+        .cookies(CookieBehavior {
+            cookies_per_visit: 2,
+            ..CookieBehavior::uid(22)
+        })
         .list(ListCoverage::DomainWide)
         .disconnect()
         .cert("Alphabet Inc.")
         .build();
     let gapis = b
-        .svc(alphabet, "Google APIs", "googleapis.com", ServiceCategory::Cdn)
+        .svc(
+            alphabet,
+            "Google APIs",
+            "googleapis.com",
+            ServiceCategory::Cdn,
+        )
         .extra("gstatic.com")
         .flat(0.58, 0.70)
         .cert("Alphabet Inc.")
@@ -250,7 +268,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
         .cert("ExoClick S.L.")
         .build();
     let exoclick = b
-        .svc(exo_org, "ExoClick", "exoclick.com", ServiceCategory::AdNetwork)
+        .svc(
+            exo_org,
+            "ExoClick",
+            "exoclick.com",
+            ServiceCategory::AdNetwork,
+        )
         .adoption([0.0; 4], [0.0004; 4])
         .cookies(ip_cookie(2, 18, 0.29, 0.45))
         .list(ListCoverage::DomainWide)
@@ -260,7 +283,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
     // ---- Cloudflare (35 % porn / 30 % regular; operator unconfirmed). ----
     let cloudflare_org = b.org("Cloudflare", OrgKind::Cdn, false);
     let cloudflare = b
-        .svc(cloudflare_org, "Cloudflare CDN", "cloudflare.com", ServiceCategory::Cdn)
+        .svc(
+            cloudflare_org,
+            "Cloudflare CDN",
+            "cloudflare.com",
+            ServiceCategory::Cdn,
+        )
         .extra("cdnjs.cloudflare.com")
         .flat(0.35, 0.30)
         .list(ListCoverage::PathOnly)
@@ -280,12 +308,20 @@ pub fn build(config: &WorldConfig) -> Catalog {
     let addthis = b
         .svc(oracle, "AddThis", "addthis.com", ServiceCategory::Widget)
         .flat(0.17, 0.25)
-        .cookies(CookieBehavior { cookies_per_visit: 2, ..CookieBehavior::uid(20) })
+        .cookies(CookieBehavior {
+            cookies_per_visit: 2,
+            ..CookieBehavior::uid(20)
+        })
         .list(ListCoverage::DomainWide)
         .cert("Oracle Corporation")
         .build();
     let bluekai = b
-        .svc(oracle, "BlueKai", "bluekai.com", ServiceCategory::DataBroker)
+        .svc(
+            oracle,
+            "BlueKai",
+            "bluekai.com",
+            ServiceCategory::DataBroker,
+        )
         .flat(0.01, 0.08)
         .cookies(CookieBehavior::uid(24))
         .list(ListCoverage::DomainWide)
@@ -295,10 +331,18 @@ pub fn build(config: &WorldConfig) -> Catalog {
     // ---- Yandex (4 % porn, Table 4). ----
     let yandex_org = b.org("Yandex", OrgKind::Analytics, false);
     let yandex = b
-        .svc(yandex_org, "Yandex Metrica", "yandex.ru", ServiceCategory::Analytics)
+        .svc(
+            yandex_org,
+            "Yandex Metrica",
+            "yandex.ru",
+            ServiceCategory::Analytics,
+        )
         .extra("mc.yandex.ru")
         .flat(0.04, 0.08)
-        .cookies(CookieBehavior { cookies_per_visit: 3, ..CookieBehavior::uid(20) })
+        .cookies(CookieBehavior {
+            cookies_per_visit: 3,
+            ..CookieBehavior::uid(20)
+        })
         .list(ListCoverage::DomainWide)
         .disconnect()
         .cert("Yandex LLC")
@@ -307,7 +351,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
     // ---- Adult ad networks. ----
     let juicy_org = b.org("JuicyAds", OrgKind::AdNetwork, true);
     let juicyads = b
-        .svc(juicy_org, "JuicyAds", "juicyads.com", ServiceCategory::AdNetwork)
+        .svc(
+            juicy_org,
+            "JuicyAds",
+            "juicyads.com",
+            ServiceCategory::AdNetwork,
+        )
         .flat(0.04, 0.0)
         .cookies(long_cookie(2))
         .list(ListCoverage::DomainWide)
@@ -316,7 +365,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
 
     let ero_org = b.org("EroAdvertising", OrgKind::AdNetwork, true);
     let ero = b
-        .svc(ero_org, "EroAdvertising", "ero-advertising.com", ServiceCategory::AdNetwork)
+        .svc(
+            ero_org,
+            "EroAdvertising",
+            "ero-advertising.com",
+            ServiceCategory::AdNetwork,
+        )
         .flat(0.0052, 0.0002)
         .cookies(CookieBehavior::uid(16))
         .list(ListCoverage::PathOnly)
@@ -329,7 +383,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
 
     let dpimp_org = b.org("DoublePimp", OrgKind::AdNetwork, true);
     let doublepimp = b
-        .svc(dpimp_org, "DoublePimp", "doublepimp.com", ServiceCategory::AdNetwork)
+        .svc(
+            dpimp_org,
+            "DoublePimp",
+            "doublepimp.com",
+            ServiceCategory::AdNetwork,
+        )
         .extra("doublepimpssl.com")
         .adoption([0.12, 0.07, 0.035, 0.02], [0.0001; 4])
         .cookies(CookieBehavior::uid(18))
@@ -339,7 +398,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
 
     let tj_org = b.org("TrafficJunky", OrgKind::AdNetwork, true);
     let trafficjunky = b
-        .svc(tj_org, "TrafficJunky", "trafficjunky.net", ServiceCategory::AdNetwork)
+        .svc(
+            tj_org,
+            "TrafficJunky",
+            "trafficjunky.net",
+            ServiceCategory::AdNetwork,
+        )
         .adoption([0.50, 0.25, 0.08, 0.02], [0.0; 4])
         .cookies(CookieBehavior::uid(20))
         .list(ListCoverage::DomainWide)
@@ -348,7 +412,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
 
     let ts_org = b.org("TrafficStars", OrgKind::AdNetwork, true);
     let tsyndicate = b
-        .svc(ts_org, "TrafficStars", "tsyndicate.com", ServiceCategory::AdNetwork)
+        .svc(
+            ts_org,
+            "TrafficStars",
+            "tsyndicate.com",
+            ServiceCategory::AdNetwork,
+        )
         .adoption([0.12, 0.09, 0.055, 0.04], [0.0; 4])
         .cookies(long_cookie(1))
         .list(ListCoverage::DomainWide)
@@ -358,19 +427,34 @@ pub fn build(config: &WorldConfig) -> Catalog {
     // ---- The HProfits sync triangle (§5.1.2). ----
     let hprofits_org = b.org("HProfits", OrgKind::AdNetwork, true);
     let hprofits = b
-        .svc(hprofits_org, "HProfits Exchange", "hprofits.com", ServiceCategory::AdNetwork)
+        .svc(
+            hprofits_org,
+            "HProfits Exchange",
+            "hprofits.com",
+            ServiceCategory::AdNetwork,
+        )
         .flat(0.008, 0.0)
         .cookies(CookieBehavior::uid(18))
         .cert("HProfits Group")
         .build();
     let hd1 = b
-        .svc(hprofits_org, "HProfits hd", "hd100546b.com", ServiceCategory::AdNetwork)
+        .svc(
+            hprofits_org,
+            "HProfits hd",
+            "hd100546b.com",
+            ServiceCategory::AdNetwork,
+        )
         .flat(0.01, 0.0)
         .cookies(CookieBehavior::uid(18))
         .cert("HProfits Group")
         .build();
     let bd2 = b
-        .svc(hprofits_org, "HProfits bd", "bd202457b.com", ServiceCategory::AdNetwork)
+        .svc(
+            hprofits_org,
+            "HProfits bd",
+            "bd202457b.com",
+            ServiceCategory::AdNetwork,
+        )
         .flat(0.01, 0.0)
         .cookies(CookieBehavior::uid(18))
         .cert("HProfits Group")
@@ -379,7 +463,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
     // ---- Security / anti-fraud (Table 5). ----
     let adscore_org = b.org("Adscore", OrgKind::Other, true);
     let adscore = b
-        .svc(adscore_org, "Adscore", "adsco.re", ServiceCategory::Security)
+        .svc(
+            adscore_org,
+            "Adscore",
+            "adsco.re",
+            ServiceCategory::Security,
+        )
         .flat(0.024, 0.01)
         .fp(FpBehavior {
             webrtc: true,
@@ -389,7 +478,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
 
     let tm_org = b.org("ThreatMetrix", OrgKind::Other, false);
     let online_metrix = b
-        .svc(tm_org, "ThreatMetrix", "online-metrix.net", ServiceCategory::Security)
+        .svc(
+            tm_org,
+            "ThreatMetrix",
+            "online-metrix.net",
+            ServiceCategory::Security,
+        )
         .adoption([0.0; 4], [0.05; 4])
         .fp(FpBehavior {
             font: true,
@@ -402,7 +496,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
 
     let th_org = b.org("TrafficHunt", OrgKind::AdNetwork, true);
     let traffichunt = b
-        .svc(th_org, "TrafficHunt", "traffichunt.com", ServiceCategory::AdNetwork)
+        .svc(
+            th_org,
+            "TrafficHunt",
+            "traffichunt.com",
+            ServiceCategory::AdNetwork,
+        )
         .flat(0.0016, 0.001)
         .cookies(CookieBehavior::uid(16))
         .fp(FpBehavior {
@@ -429,7 +528,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
         .cert("Amazon Inc.")
         .build();
     let alexa_widget = b
-        .svc(amazon, "Alexa Widget", "alexa.com", ServiceCategory::Analytics)
+        .svc(
+            amazon,
+            "Alexa Widget",
+            "alexa.com",
+            ServiceCategory::Analytics,
+        )
         .flat(0.05, 0.10)
         .cookies(CookieBehavior::uid(16))
         .list(ListCoverage::DomainWide)
@@ -440,7 +544,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
     // ---- Data brokers. ----
     let towerdata = b.org("TowerData/Acxiom", OrgKind::DataBroker, false);
     let rlcdn = b
-        .svc(towerdata, "RapLeaf", "rlcdn.com", ServiceCategory::DataBroker)
+        .svc(
+            towerdata,
+            "RapLeaf",
+            "rlcdn.com",
+            ServiceCategory::DataBroker,
+        )
         .flat(0.0006, 0.30)
         .cookies(CookieBehavior::uid(24))
         .list(ListCoverage::DomainWide)
@@ -450,7 +559,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
     // ---- Mainstream web (Fig. 3's regular-web side). ----
     let facebook_org = b.org("Facebook", OrgKind::Social, false);
     let facebook = b
-        .svc(facebook_org, "Facebook Connect", "facebook.net", ServiceCategory::Social)
+        .svc(
+            facebook_org,
+            "Facebook Connect",
+            "facebook.net",
+            ServiceCategory::Social,
+        )
         .extra("facebook.com")
         .flat(0.02, 0.55)
         .cookies(CookieBehavior::uid(24))
@@ -460,7 +574,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
         .build();
     let twitter_org = b.org("Twitter", OrgKind::Social, false);
     let twitter = b
-        .svc(twitter_org, "Twitter Widgets", "twitter.com", ServiceCategory::Social)
+        .svc(
+            twitter_org,
+            "Twitter Widgets",
+            "twitter.com",
+            ServiceCategory::Social,
+        )
         .flat(0.01, 0.30)
         .cookies(CookieBehavior::uid(20))
         .list(ListCoverage::DomainWide)
@@ -469,7 +588,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
         .build();
     let criteo_org = b.org("Criteo", OrgKind::AdNetwork, false);
     let criteo = b
-        .svc(criteo_org, "Criteo", "criteo.com", ServiceCategory::AdNetwork)
+        .svc(
+            criteo_org,
+            "Criteo",
+            "criteo.com",
+            ServiceCategory::AdNetwork,
+        )
         .flat(0.002, 0.25)
         .cookies(CookieBehavior::uid(22))
         .list(ListCoverage::DomainWide)
@@ -478,7 +602,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
         .build();
     let appnexus_org = b.org("AppNexus", OrgKind::AdNetwork, false);
     let adnxs = b
-        .svc(appnexus_org, "AppNexus", "adnxs.com", ServiceCategory::AdNetwork)
+        .svc(
+            appnexus_org,
+            "AppNexus",
+            "adnxs.com",
+            ServiceCategory::AdNetwork,
+        )
         .flat(0.005, 0.30)
         .cookies(CookieBehavior::uid(22))
         .list(ListCoverage::DomainWide)
@@ -487,7 +616,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
         .build();
     let comscore_org = b.org("comScore", OrgKind::Analytics, false);
     let scorecard = b
-        .svc(comscore_org, "ScorecardResearch", "scorecardresearch.com", ServiceCategory::Analytics)
+        .svc(
+            comscore_org,
+            "ScorecardResearch",
+            "scorecardresearch.com",
+            ServiceCategory::Analytics,
+        )
         .flat(0.004, 0.25)
         .cookies(CookieBehavior::uid(20))
         .list(ListCoverage::DomainWide)
@@ -495,7 +629,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
         .build();
     let quantcast_org = b.org("Quantcast", OrgKind::Analytics, false);
     let quantserve = b
-        .svc(quantcast_org, "Quantcast", "quantserve.com", ServiceCategory::Analytics)
+        .svc(
+            quantcast_org,
+            "Quantcast",
+            "quantserve.com",
+            ServiceCategory::Analytics,
+        )
         .flat(0.003, 0.20)
         .cookies(CookieBehavior::uid(20))
         .list(ListCoverage::DomainWide)
@@ -503,7 +642,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
         .build();
     let jsdelivr_org = b.org("jsDelivr", OrgKind::Cdn, false);
     let _jsdelivr = b
-        .svc(jsdelivr_org, "jsDelivr", "jsdelivr.net", ServiceCategory::Cdn)
+        .svc(
+            jsdelivr_org,
+            "jsDelivr",
+            "jsdelivr.net",
+            ServiceCategory::Cdn,
+        )
         .flat(0.08, 0.25)
         .build();
     let akamai_org = b.org("Akamai", OrgKind::Cdn, false);
@@ -522,17 +666,32 @@ pub fn build(config: &WorldConfig) -> Catalog {
     // ---- Cryptominers (§5.3: three services on 8 porn sites). ----
     let coinhive_org = b.org("Coinhive", OrgKind::Cryptominer, false);
     let coinhive = b
-        .svc(coinhive_org, "Coinhive", "coinhive.com", ServiceCategory::Cryptominer)
+        .svc(
+            coinhive_org,
+            "Coinhive",
+            "coinhive.com",
+            ServiceCategory::Cryptominer,
+        )
         .miner()
         .build();
     let jse_org = b.org("JSEcoin", OrgKind::Cryptominer, false);
     let jsecoin = b
-        .svc(jse_org, "JSEcoin", "jsecoin.com", ServiceCategory::Cryptominer)
+        .svc(
+            jse_org,
+            "JSEcoin",
+            "jsecoin.com",
+            ServiceCategory::Cryptominer,
+        )
         .miner()
         .build();
     let btcpay_org = b.org("BitcoinPay", OrgKind::Cryptominer, false);
     let bitcoin_pay = b
-        .svc(btcpay_org, "BitcoinPay", "bitcoin-pay.eu", ServiceCategory::Cryptominer)
+        .svc(
+            btcpay_org,
+            "BitcoinPay",
+            "bitcoin-pay.eu",
+            ServiceCategory::Cryptominer,
+        )
         .no_https()
         .miner()
         .build();
@@ -540,7 +699,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
     // ---- Traffic trade (potentially malicious, §4.2.2). ----
     let itt_org = b.org("iTrafficTrade", OrgKind::AdNetwork, true);
     let itraffictrade = b
-        .svc(itt_org, "iTrafficTrade", "itraffictrade.com", ServiceCategory::AdNetwork)
+        .svc(
+            itt_org,
+            "iTrafficTrade",
+            "itraffictrade.com",
+            ServiceCategory::AdNetwork,
+        )
         .flat(0.003, 0.0)
         .no_https()
         .malicious()
@@ -550,13 +714,23 @@ pub fn build(config: &WorldConfig) -> Catalog {
     // ---- Unpopular-site-only analytics (§4.2.2). ----
     let af_org = b.org("AdultForce", OrgKind::Analytics, true);
     let adultforce = b
-        .svc(af_org, "AdultForce", "adultforce.com", ServiceCategory::Analytics)
+        .svc(
+            af_org,
+            "AdultForce",
+            "adultforce.com",
+            ServiceCategory::Analytics,
+        )
         .adoption([0.0, 0.0, 0.0, 0.012], [0.0; 4])
         .cookies(CookieBehavior::uid(16))
         .build();
     let zingy_org = b.org("ZingyAds", OrgKind::AdNetwork, true);
     let zingyads = b
-        .svc(zingy_org, "ZingyAds", "zingyads.com", ServiceCategory::AdNetwork)
+        .svc(
+            zingy_org,
+            "ZingyAds",
+            "zingyads.com",
+            ServiceCategory::AdNetwork,
+        )
         .adoption([0.0, 0.0, 0.0, 0.010], [0.0; 4])
         .cookies(CookieBehavior::uid(14))
         .no_https()
@@ -564,7 +738,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
 
     // ---- The four Russian ATS found on pornovhd.info (§4.2.2). ----
     let mut russian_ats = Vec::new();
-    for fqdn in ["betweendigital.ru", "datamind.ru", "adlabs.ru", "adx.com.ru"] {
+    for fqdn in [
+        "betweendigital.ru",
+        "datamind.ru",
+        "adlabs.ru",
+        "adx.com.ru",
+    ] {
         let org = b.org(&format!("RU-ATS {fqdn}"), OrgKind::AdNetwork, true);
         let id = b
             .svc(org, fqdn, fqdn, ServiceCategory::AdNetwork)
@@ -586,14 +765,24 @@ pub fn build(config: &WorldConfig) -> Catalog {
         .build();
     let pwm_org = b.org("PlayWithMe", OrgKind::Other, true);
     let playwithme = b
-        .svc(pwm_org, "PlayWithMe", "playwithme.com", ServiceCategory::Widget)
+        .svc(
+            pwm_org,
+            "PlayWithMe",
+            "playwithme.com",
+            ServiceCategory::Widget,
+        )
         .cookies(geo_cookie(true))
         .build();
 
     // ---- The Table 5 fingerprinting cast. ----
     let adnium_org = b.org("Adnium", OrgKind::AdNetwork, true);
     let adnium = b
-        .svc(adnium_org, "Adnium", "adnium.com", ServiceCategory::AdNetwork)
+        .svc(
+            adnium_org,
+            "Adnium",
+            "adnium.com",
+            ServiceCategory::AdNetwork,
+        )
         .flat(0.004, 0.0)
         .cookies(CookieBehavior::uid(16))
         .list(ListCoverage::PathOnly)
@@ -601,7 +790,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
         .build();
     let hwm_org = b.org("HighWebMedia", OrgKind::Other, true);
     let highwebmedia = b
-        .svc(hwm_org, "HighWebMedia", "highwebmedia.com", ServiceCategory::Widget)
+        .svc(
+            hwm_org,
+            "HighWebMedia",
+            "highwebmedia.com",
+            ServiceCategory::Widget,
+        )
         .flat(0.0035, 0.0001)
         .list(ListCoverage::PathOnly)
         .fp(FpBehavior {
@@ -613,14 +807,24 @@ pub fn build(config: &WorldConfig) -> Catalog {
         .build();
     let xcv_org = b.org("xcvgdf.party", OrgKind::AdNetwork, true);
     let xcvgdf = b
-        .svc(xcv_org, "xcvgdf.party", "xcvgdf.party", ServiceCategory::AdNetwork)
+        .svc(
+            xcv_org,
+            "xcvgdf.party",
+            "xcvgdf.party",
+            ServiceCategory::AdNetwork,
+        )
         .flat(0.0028, 0.0)
         .no_https()
         .fp(FpBehavior::canvas_everywhere((1, 1)))
         .build();
     let provers_org = b.org("provers.pro", OrgKind::AdNetwork, true);
     let provers = b
-        .svc(provers_org, "provers.pro", "provers.pro", ServiceCategory::AdNetwork)
+        .svc(
+            provers_org,
+            "provers.pro",
+            "provers.pro",
+            ServiceCategory::AdNetwork,
+        )
         .flat(0.0024, 0.0)
         .list(ListCoverage::PathOnly)
         .fp(FpBehavior {
@@ -631,7 +835,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
         .build();
     let montwam_org = b.org("montwam.top", OrgKind::AdNetwork, true);
     let montwam = b
-        .svc(montwam_org, "montwam.top", "montwam.top", ServiceCategory::AdNetwork)
+        .svc(
+            montwam_org,
+            "montwam.top",
+            "montwam.top",
+            ServiceCategory::AdNetwork,
+        )
         .flat(0.002, 0.0)
         .no_https()
         .list(ListCoverage::PathOnly)
@@ -661,7 +870,10 @@ pub fn build(config: &WorldConfig) -> Catalog {
 
     // Wire named sync flows (§5.1.2).
     for (origin, dests) in [
-        (exosrv, vec![exoclick, rlcdn, adnxs, criteo, tsyndicate, doubleclick]),
+        (
+            exosrv,
+            vec![exoclick, rlcdn, adnxs, criteo, tsyndicate, doubleclick],
+        ),
         (exoclick, vec![exosrv, adnxs, criteo, juicyads]),
         (hd1, vec![hprofits]),
         (bd2, vec![hprofits]),
@@ -696,7 +908,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
         let embeds_ip = rng.random_bool(0.025); // plain-HTTP IP leakers (§5.2)
         let has_ov_cert = rng.random_bool(0.80);
         let mut builder = b
-            .svc(longtail_org, &format!("lt-{i}"), &fqdn, ServiceCategory::AdNetwork)
+            .svc(
+                longtail_org,
+                &format!("lt-{i}"),
+                &fqdn,
+                ServiceCategory::AdNetwork,
+            )
             .cookies(CookieBehavior {
                 cookies_per_visit: 1 + (i % 2) as u8,
                 id_len: if short_value { 4 } else { 12 + (i % 20) as u8 },
@@ -749,7 +966,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
     for i in 0..n_ltfp {
         let fqdn = longtail_fqdn(&mut rng, 100_000 + i);
         let id = b
-            .svc(ltfp_org, &format!("ltfp-{i}"), &fqdn, ServiceCategory::AdNetwork)
+            .svc(
+                ltfp_org,
+                &format!("ltfp-{i}"),
+                &fqdn,
+                ServiceCategory::AdNetwork,
+            )
             .fp(FpBehavior::canvas_everywhere((1, 1)))
             .build();
         b.services.get_mut(id).https = rng.random_bool(0.3);
@@ -763,7 +985,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
     for i in 0..n_ltrtc {
         let fqdn = longtail_fqdn(&mut rng, 200_000 + i);
         let id = b
-            .svc(ltrtc_org, &format!("ltrtc-{i}"), &fqdn, ServiceCategory::Analytics)
+            .svc(
+                ltrtc_org,
+                &format!("ltrtc-{i}"),
+                &fqdn,
+                ServiceCategory::Analytics,
+            )
             .fp(FpBehavior {
                 webrtc: true,
                 ..FpBehavior::default()
@@ -795,7 +1022,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
     for (i, region) in regionals.iter().enumerate() {
         let fqdn = longtail_fqdn(&mut rng, 300_000 + i);
         let mut builder = b
-            .svc(ltmal_org, &format!("ltmal-{i}"), &fqdn, ServiceCategory::AdNetwork)
+            .svc(
+                ltmal_org,
+                &format!("ltmal-{i}"),
+                &fqdn,
+                ServiceCategory::AdNetwork,
+            )
             .no_https()
             .malicious()
             .cookies(CookieBehavior::uid(12));
@@ -816,7 +1048,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
         for i in 0..count {
             let fqdn = longtail_fqdn(&mut rng, 400_000 + (country as usize) * 1_000 + i);
             let id = b
-                .svc(cats_org, &format!("cats-{}-{i}", country.code()), &fqdn, ServiceCategory::AdNetwork)
+                .svc(
+                    cats_org,
+                    &format!("cats-{}-{i}", country.code()),
+                    &fqdn,
+                    ServiceCategory::AdNetwork,
+                )
                 .countries(&[country])
                 .cookies(CookieBehavior::uid(14))
                 .list(ListCoverage::DomainWide)
@@ -835,7 +1072,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
         let fqdn = regular_fqdn(&mut rng, i);
         let also_porn = rng.random_bool(0.30);
         let mut builder = b
-            .svc(ltreg_org, &format!("ltreg-{i}"), &fqdn, ServiceCategory::Analytics)
+            .svc(
+                ltreg_org,
+                &format!("ltreg-{i}"),
+                &fqdn,
+                ServiceCategory::Analytics,
+            )
             .adoption(
                 if also_porn {
                     [0.0006, 0.0006, 0.0004, 0.0002]
@@ -902,10 +1144,12 @@ pub fn build(config: &WorldConfig) -> Catalog {
 /// Generates a shady long-tail tracker FQDN.
 fn longtail_fqdn(rng: &mut StdRng, salt: usize) -> String {
     const SYL: &[&str] = &[
-        "ad", "trk", "traf", "pix", "tag", "stat", "meter", "count", "bid", "pop", "push",
-        "zone", "媒", "clk", "srv", "net", "delta", "omni", "hyper", "turbo",
+        "ad", "trk", "traf", "pix", "tag", "stat", "meter", "count", "bid", "pop", "push", "zone",
+        "媒", "clk", "srv", "net", "delta", "omni", "hyper", "turbo",
     ];
-    const TLD: &[&str] = &["com", "net", "top", "party", "club", "online", "site", "pro", "xxx"];
+    const TLD: &[&str] = &[
+        "com", "net", "top", "party", "club", "online", "site", "pro", "xxx",
+    ];
     let a = SYL[rng.random_range(0..SYL.len())];
     let c = SYL[rng.random_range(0..SYL.len())];
     let tld = TLD[rng.random_range(0..TLD.len())];
@@ -1043,6 +1287,9 @@ mod tests {
         let small = build(&WorldConfig::tiny(1));
         let big = build(&WorldConfig::small(1));
         assert!(big.longtail_porn.len() > small.longtail_porn.len());
-        assert_eq!(small.longtail_porn.len(), WorldConfig::tiny(1).n_longtail_trackers);
+        assert_eq!(
+            small.longtail_porn.len(),
+            WorldConfig::tiny(1).n_longtail_trackers
+        );
     }
 }

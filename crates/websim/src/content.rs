@@ -69,10 +69,7 @@ pub fn render_landing(
 
     // --- <head>: title + company template signature (§4.1 clustering). ---
     if let Some(owner) = ctx.owner_name {
-        let idx = PUBLISHERS
-            .iter()
-            .position(|p| p.name == owner)
-            .unwrap_or(0);
+        let idx = PUBLISHERS.iter().position(|p| p.name == owner).unwrap_or(0);
         out.push_str(&format!(
             "<title>{domain} — {owner} network</title>\
              <meta name=\"generator\" content=\"NetworkSuite-{idx} by {owner}\">\
@@ -324,8 +321,8 @@ mod tests {
     use crate::catalog;
     use crate::config::WorldConfig;
     use crate::sitegen;
-    use redlight_text::lang::Language;
     use redlight_html::{parser, query};
+    use redlight_text::lang::Language;
 
     fn fixture() -> (crate::catalog::Catalog, Vec<Site>) {
         let config = WorldConfig::tiny(21);

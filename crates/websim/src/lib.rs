@@ -21,8 +21,8 @@ pub mod catalog;
 pub mod config;
 pub mod content;
 pub mod lists;
-pub mod org;
 pub mod oracle;
+pub mod org;
 pub mod policygen;
 pub mod scriptgen;
 pub mod server;

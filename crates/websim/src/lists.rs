@@ -123,7 +123,9 @@ mod tests {
     fn domainwide_services_match_everywhere() {
         let (_, fs) = filterset();
         let ctx = RequestContext::new("porn.site", "exoclick.com", ResourceKind::Script);
-        assert!(fs.matches("https://exoclick.com/tag/v1.js", &ctx).is_blocked());
+        assert!(fs
+            .matches("https://exoclick.com/tag/v1.js", &ctx)
+            .is_blocked());
         assert!(fs.matches_fqdn_relaxed("exoclick.com"));
     }
 
@@ -155,7 +157,9 @@ mod tests {
     fn unlisted_services_are_clean() {
         let (_, fs) = filterset();
         let ctx = RequestContext::new("porn.site", "xcvgdf.party", ResourceKind::Script);
-        assert!(!fs.matches("http://xcvgdf.party/fp/v7.js", &ctx).is_blocked());
+        assert!(!fs
+            .matches("http://xcvgdf.party/fp/v7.js", &ctx)
+            .is_blocked());
         assert!(!fs.matches_fqdn_relaxed("xcvgdf.party"));
     }
 

@@ -92,7 +92,11 @@ mod tests {
         let pop = sitegen::generate(&config, &cat);
         let oracle = InspectionOracle::new(&pop.sites);
 
-        let porn = pop.sites.iter().find(|s| s.is_porn() && !s.unresponsive).unwrap();
+        let porn = pop
+            .sites
+            .iter()
+            .find(|s| s.is_porn() && !s.unresponsive)
+            .unwrap();
         let fp = pop
             .sites
             .iter()

@@ -64,31 +64,151 @@ pub struct PublisherSpec {
 /// Table 1 publishers plus nine smaller attributable companies (§4.1: 24
 /// companies, 286 sites in total).
 pub const PUBLISHERS: &[PublisherSpec] = &[
-    PublisherSpec { name: "Gamma Entertainment", sites: 65, flagship_domain: "evilangel.com", flagship_rank: 5_301 },
-    PublisherSpec { name: "MindGeek", sites: 54, flagship_domain: "pornhub.com", flagship_rank: 22 },
-    PublisherSpec { name: "PaperStreet Media", sites: 38, flagship_domain: "teamskeet.com", flagship_rank: 10_171 },
-    PublisherSpec { name: "Techpump", sites: 25, flagship_domain: "porn300.com", flagship_rank: 2_366 },
-    PublisherSpec { name: "PMG Entertainment", sites: 15, flagship_domain: "private.com", flagship_rank: 7_758 },
-    PublisherSpec { name: "SexMex", sites: 12, flagship_domain: "sexmex.xxx", flagship_rank: 122_227 },
-    PublisherSpec { name: "Docler Holding", sites: 10, flagship_domain: "livejasmin.com", flagship_rank: 36 },
-    PublisherSpec { name: "Mature.nl", sites: 9, flagship_domain: "mature.nl", flagship_rank: 6_577 },
-    PublisherSpec { name: "Liberty Media", sites: 7, flagship_domain: "corbinfisher.com", flagship_rank: 26_436 },
-    PublisherSpec { name: "WGCZ", sites: 5, flagship_domain: "xvideos.com", flagship_rank: 32 },
-    PublisherSpec { name: "AFS Media LTD", sites: 5, flagship_domain: "theclassicporn.com", flagship_rank: 13_939 },
-    PublisherSpec { name: "AEBN", sites: 5, flagship_domain: "pornotube.com", flagship_rank: 31_148 },
-    PublisherSpec { name: "Zero Tolerance", sites: 5, flagship_domain: "ztod.com", flagship_rank: 40_676 },
-    PublisherSpec { name: "Eurocreme", sites: 5, flagship_domain: "eurocreme.com", flagship_rank: 110_012 },
-    PublisherSpec { name: "JM Productions", sites: 5, flagship_domain: "jerkoffzone.com", flagship_rank: 147_753 },
+    PublisherSpec {
+        name: "Gamma Entertainment",
+        sites: 65,
+        flagship_domain: "evilangel.com",
+        flagship_rank: 5_301,
+    },
+    PublisherSpec {
+        name: "MindGeek",
+        sites: 54,
+        flagship_domain: "pornhub.com",
+        flagship_rank: 22,
+    },
+    PublisherSpec {
+        name: "PaperStreet Media",
+        sites: 38,
+        flagship_domain: "teamskeet.com",
+        flagship_rank: 10_171,
+    },
+    PublisherSpec {
+        name: "Techpump",
+        sites: 25,
+        flagship_domain: "porn300.com",
+        flagship_rank: 2_366,
+    },
+    PublisherSpec {
+        name: "PMG Entertainment",
+        sites: 15,
+        flagship_domain: "private.com",
+        flagship_rank: 7_758,
+    },
+    PublisherSpec {
+        name: "SexMex",
+        sites: 12,
+        flagship_domain: "sexmex.xxx",
+        flagship_rank: 122_227,
+    },
+    PublisherSpec {
+        name: "Docler Holding",
+        sites: 10,
+        flagship_domain: "livejasmin.com",
+        flagship_rank: 36,
+    },
+    PublisherSpec {
+        name: "Mature.nl",
+        sites: 9,
+        flagship_domain: "mature.nl",
+        flagship_rank: 6_577,
+    },
+    PublisherSpec {
+        name: "Liberty Media",
+        sites: 7,
+        flagship_domain: "corbinfisher.com",
+        flagship_rank: 26_436,
+    },
+    PublisherSpec {
+        name: "WGCZ",
+        sites: 5,
+        flagship_domain: "xvideos.com",
+        flagship_rank: 32,
+    },
+    PublisherSpec {
+        name: "AFS Media LTD",
+        sites: 5,
+        flagship_domain: "theclassicporn.com",
+        flagship_rank: 13_939,
+    },
+    PublisherSpec {
+        name: "AEBN",
+        sites: 5,
+        flagship_domain: "pornotube.com",
+        flagship_rank: 31_148,
+    },
+    PublisherSpec {
+        name: "Zero Tolerance",
+        sites: 5,
+        flagship_domain: "ztod.com",
+        flagship_rank: 40_676,
+    },
+    PublisherSpec {
+        name: "Eurocreme",
+        sites: 5,
+        flagship_domain: "eurocreme.com",
+        flagship_rank: 110_012,
+    },
+    PublisherSpec {
+        name: "JM Productions",
+        sites: 5,
+        flagship_domain: "jerkoffzone.com",
+        flagship_rank: 147_753,
+    },
     // Nine smaller companies closing the gap to 24 companies / 286 sites.
-    PublisherSpec { name: "Adult Empire Group", sites: 3, flagship_domain: "adultempiregroup.com", flagship_rank: 61_000 },
-    PublisherSpec { name: "Bang Bros Network", sites: 3, flagship_domain: "bangnetwork.com", flagship_rank: 9_400 },
-    PublisherSpec { name: "Hustler Digital", sites: 3, flagship_domain: "hustlerdigital.com", flagship_rank: 44_000 },
-    PublisherSpec { name: "Vivid Media", sites: 2, flagship_domain: "vividmedia.com", flagship_rank: 52_000 },
-    PublisherSpec { name: "Kink Networks", sites: 2, flagship_domain: "kinknetworks.com", flagship_rank: 18_500 },
-    PublisherSpec { name: "Twistys Group", sites: 2, flagship_domain: "twistysgroup.com", flagship_rank: 71_000 },
-    PublisherSpec { name: "Reality Kings Media", sites: 2, flagship_domain: "realityworksmedia.com", flagship_rank: 12_800 },
-    PublisherSpec { name: "Digital Playground SL", sites: 2, flagship_domain: "dpplayground.com", flagship_rank: 93_000 },
-    PublisherSpec { name: "Naughty America Corp", sites: 2, flagship_domain: "naughtycorp.com", flagship_rank: 23_000 },
+    PublisherSpec {
+        name: "Adult Empire Group",
+        sites: 3,
+        flagship_domain: "adultempiregroup.com",
+        flagship_rank: 61_000,
+    },
+    PublisherSpec {
+        name: "Bang Bros Network",
+        sites: 3,
+        flagship_domain: "bangnetwork.com",
+        flagship_rank: 9_400,
+    },
+    PublisherSpec {
+        name: "Hustler Digital",
+        sites: 3,
+        flagship_domain: "hustlerdigital.com",
+        flagship_rank: 44_000,
+    },
+    PublisherSpec {
+        name: "Vivid Media",
+        sites: 2,
+        flagship_domain: "vividmedia.com",
+        flagship_rank: 52_000,
+    },
+    PublisherSpec {
+        name: "Kink Networks",
+        sites: 2,
+        flagship_domain: "kinknetworks.com",
+        flagship_rank: 18_500,
+    },
+    PublisherSpec {
+        name: "Twistys Group",
+        sites: 2,
+        flagship_domain: "twistysgroup.com",
+        flagship_rank: 71_000,
+    },
+    PublisherSpec {
+        name: "Reality Kings Media",
+        sites: 2,
+        flagship_domain: "realityworksmedia.com",
+        flagship_rank: 12_800,
+    },
+    PublisherSpec {
+        name: "Digital Playground SL",
+        sites: 2,
+        flagship_domain: "dpplayground.com",
+        flagship_rank: 93_000,
+    },
+    PublisherSpec {
+        name: "Naughty America Corp",
+        sites: 2,
+        flagship_domain: "naughtycorp.com",
+        flagship_rank: 23_000,
+    },
 ];
 
 /// The organization registry, built once per world.

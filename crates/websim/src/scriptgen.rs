@@ -286,8 +286,10 @@ mod tests {
     #[test]
     fn decoy_uses_save_restore() {
         let mut host = CollectingHost::default();
-        host.responses
-            .push(("canvas.toDataURL".into(), redlight_script::Value::Str("data:".into())));
+        host.responses.push((
+            "canvas.toDataURL".into(),
+            redlight_script::Value::Str("data:".into()),
+        ));
         run(&decoy_canvas_script("site.com", true), &mut host).unwrap();
         let names: Vec<&str> = host.calls.iter().map(|(n, _)| n.as_str()).collect();
         assert!(names.contains(&"canvas.save"));

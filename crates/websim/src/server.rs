@@ -97,9 +97,10 @@ impl<'w> WebServer<'w> {
                 let svc = self.world.services.get(id);
                 self.handle_service(svc, req, ctx)
             }
-            HostEntity::CloudHost(_) => {
-                self.finish(req, Response::ok("application/javascript", "// static lib\n"))
-            }
+            HostEntity::CloudHost(_) => self.finish(
+                req,
+                Response::ok("application/javascript", "// static lib\n"),
+            ),
             HostEntity::Directory(idx) => self.handle_directory(idx as usize, req),
         }
     }
@@ -166,7 +167,10 @@ impl<'w> WebServer<'w> {
             "/social-login" => self.finish(req, Response::error(StatusCode::FORBIDDEN)),
             "/login" | "/signup" => self.finish(
                 req,
-                Response::ok("text/html", "<html><body><form>Sign Up free</form></body></html>"),
+                Response::ok(
+                    "text/html",
+                    "<html><body><form>Sign Up free</form></body></html>",
+                ),
             ),
             "/premium" => {
                 let body = if site.premium_paid {
@@ -178,11 +182,7 @@ impl<'w> WebServer<'w> {
                 };
                 self.finish(req, Response::ok("text/html", body))
             }
-            p if site
-                .policy
-                .as_ref()
-                .is_some_and(|pol| pol.path == p) =>
-            {
+            p if site.policy.as_ref().is_some_and(|pol| pol.path == p) => {
                 let pol = site.policy.as_ref().expect("guarded");
                 if pol.broken {
                     return self.finish(req, Response::error(StatusCode::GONE));
@@ -200,7 +200,10 @@ impl<'w> WebServer<'w> {
                 );
                 self.finish(
                     req,
-                    Response::ok("text/html", format!("<html><body><main>{text}</main></body></html>")),
+                    Response::ok(
+                        "text/html",
+                        format!("<html><body><main>{text}</main></body></html>"),
+                    ),
                 )
             }
             "/own-fp" | "/widget-metrics" => {
@@ -270,19 +273,20 @@ impl<'w> WebServer<'w> {
         match path {
             // The measurement pixel: cookies happen here.
             "/px" | "/bid" => {
-                let sid = req.url.query_param("sid").or_else(|| req.url.query_param("pid"));
+                let sid = req
+                    .url
+                    .query_param("sid")
+                    .or_else(|| req.url.query_param("pid"));
                 let site_hash = hash_str(sid.as_deref().unwrap_or("unknown"));
                 // Cookie syncing: a repeat sighting of our own uid cookie
                 // triggers a redirect that leaks it to a partner (§5.1.2).
                 // Syncing is opportunistic: each service fires the redirect
                 // on a per-site share of placements (its sync gate).
-                let sync_gate = mix(site_hash, svc.id.0 as u64 ^ 0x517C) % 100
-                    < svc.sync_gate_pct as u64;
+                let sync_gate =
+                    mix(site_hash, svc.id.0 as u64 ^ 0x517C) % 100 < svc.sync_gate_pct as u64;
                 if path == "/px" && !svc.sync_to.is_empty() && sync_gate {
                     if let Some(uid) = request_cookie(req, "uid") {
-                        if let Some(target) =
-                            self.sync_target(svc, site_hash, ctx.country)
-                        {
+                        if let Some(target) = self.sync_target(svc, site_hash, ctx.country) {
                             let turl = Url::parse(&format!(
                                 "{}://{}/sync?src={}&suid={}",
                                 if target.https { "https" } else { "http" },
@@ -377,7 +381,11 @@ impl<'w> WebServer<'w> {
         let domain = psl::registrable_domain(&svc.fqdn).to_string();
 
         for i in 0..behavior.cookies_per_visit.max(1) {
-            let name = if i == 0 { "uid".to_string() } else { format!("x{i}") };
+            let name = if i == 0 {
+                "uid".to_string()
+            } else {
+                format!("x{i}")
+            };
             // Value construction per behavior.
             let value = if behavior.embed_geo {
                 let geo = self.geoip.lookup(ctx.client_ip);
@@ -391,14 +399,11 @@ impl<'w> WebServer<'w> {
                 }
                 codec::percent_encode(&raw)
             } else {
-                let embeds_ip = (mix(site_hash ^ (i as u64) << 32, svc.id.0 as u64) % 1_000)
-                    as f64
+                let embeds_ip = (mix(site_hash ^ (i as u64) << 32, svc.id.0 as u64) % 1_000) as f64
                     / 1_000.0
                     < behavior.embed_ip_ratio;
                 if embeds_ip {
-                    codec::base64_encode(
-                        format!("ip={}&uid={uid}", ctx.client_ip).as_bytes(),
-                    )
+                    codec::base64_encode(format!("ip={}&uid={uid}", ctx.client_ip).as_bytes())
                 } else if behavior.long_value {
                     // >1,000-char payloads, up to ~3,600 (§5.1.1).
                     let reps = 1 + ((mix(site_hash, 0x70) % 6) as usize);
@@ -494,7 +499,11 @@ mod tests {
     fn serves_landing_pages_with_certificates() {
         let w = world();
         let server = WebServer::new(&w);
-        let site = w.sites.iter().find(|s| s.is_porn() && s.https && !s.unresponsive && !s.openwpm_timeout).unwrap();
+        let site = w
+            .sites
+            .iter()
+            .find(|s| s.is_porn() && s.https && !s.unresponsive && !s.openwpm_timeout)
+            .unwrap();
         let resp = expect_response(server.handle(&get(&w.landing_url(site)), &ctx(Country::Spain)));
         assert!(resp.status.is_success());
         assert!(resp.text().contains(&site.domain));
@@ -505,7 +514,11 @@ mod tests {
     fn https_to_http_only_site_is_unreachable() {
         let w = world();
         let server = WebServer::new(&w);
-        let site = w.sites.iter().find(|s| s.is_porn() && !s.https && !s.unresponsive).unwrap();
+        let site = w
+            .sites
+            .iter()
+            .find(|s| s.is_porn() && !s.https && !s.unresponsive)
+            .unwrap();
         let req = get(&format!("https://{}/", site.domain));
         assert!(matches!(
             server.handle(&req, &ctx(Country::Spain)),
@@ -672,14 +685,15 @@ mod tests {
         let site = w
             .sites
             .iter()
-            .find(|s| s.policy.as_ref().is_some_and(|p| !p.broken) && s.is_porn() && !s.unresponsive)
+            .find(|s| {
+                s.policy.as_ref().is_some_and(|p| !p.broken) && s.is_porn() && !s.unresponsive
+            })
             .unwrap();
         let pol = site.policy.as_ref().unwrap();
         let scheme = if site.https { "https" } else { "http" };
-        let resp = expect_response(server.handle(
-            &get(&format!("{scheme}://{}{}", site.domain, pol.path)),
-            &c,
-        ));
+        let resp = expect_response(
+            server.handle(&get(&format!("{scheme}://{}{}", site.domain, pol.path)), &c),
+        );
         assert!(resp.status.is_success());
         assert!(resp.text().len() > 500);
 

@@ -326,12 +326,12 @@ fn brand_domain(rng: &mut StdRng, n: usize) -> String {
     // Directory-listed brands avoid the keyword bag (or the keyword search
     // would have found them and the paper's union arithmetic would differ).
     const BRAND_A: &[&str] = &[
-        "velvet", "scarlet", "midnight", "crimson", "boudoir", "aphro", "eros", "sultry",
-        "tease", "allure", "lux", "noir", "charm", "desire", "tempt",
+        "velvet", "scarlet", "midnight", "crimson", "boudoir", "aphro", "eros", "sultry", "tease",
+        "allure", "lux", "noir", "charm", "desire", "tempt",
     ];
     const BRAND_B: &[&str] = &[
-        "angels", "dolls", "affairs", "nights", "rooms", "films", "live", "club", "den",
-        "lounge", "story", "scene", "play", "secret", "vision",
+        "angels", "dolls", "affairs", "nights", "rooms", "films", "live", "club", "den", "lounge",
+        "story", "scene", "play", "secret", "vision",
     ];
     loop {
         let a = BRAND_A[rng.random_range(0..BRAND_A.len())];
@@ -401,11 +401,7 @@ pub fn generate(config: &WorldConfig, catalog: &Catalog) -> SitePopulation {
     // Scale cluster sizes down for small worlds, keeping ≥1 site (the
     // flagship) per company so owner discovery has something to find.
     for spec in PUBLISHERS {
-        let owner = catalog
-            .orgs
-            .by_name(spec.name)
-            .map(|o| o.id)
-            .or(None);
+        let owner = catalog.orgs.by_name(spec.name).map(|o| o.id).or(None);
         // Publishers are registered lazily: the catalog only lists service
         // orgs, so owner ids are resolved later in world assembly. Here we
         // tag sites with a placeholder resolved by name.
@@ -698,7 +694,10 @@ fn decorate(
         let ti = tier_index(site.tier);
         let is_porn = site.is_porn();
         let is_regular = matches!(site.kind, SiteKind::Regular)
-            || matches!(site.kind, SiteKind::FalsePositive(FalsePositiveKind::NonPornContent));
+            || matches!(
+                site.kind,
+                SiteKind::FalsePositive(FalsePositiveKind::NonPornContent)
+            );
         for svc in catalog.services.iter() {
             let p = if is_porn {
                 svc.adoption.porn[ti]
@@ -753,7 +752,12 @@ fn decorate(
     }
 
     // -- The Russian ATS quartet on pornovhd.info + a couple of peers. --
-    for fqdn in ["betweendigital.ru", "datamind.ru", "adlabs.ru", "adx.com.ru"] {
+    for fqdn in [
+        "betweendigital.ru",
+        "datamind.ru",
+        "adlabs.ru",
+        "adx.com.ru",
+    ] {
         if let Some(svc) = catalog.services.by_fqdn(fqdn) {
             push_unique(&mut sites[pornovhd_idx].deployments, svc.id, rng);
             for idx in pick_distinct(rng, &porn_ids, 2) {
@@ -780,9 +784,9 @@ fn decorate(
         .collect();
     for &svc in &catalog.longtail_porn {
         let mut k = 1 + (rng.random_range(0.0..1.0f64).powi(3) * 4.0) as usize; // zipf-ish 1..5
-        // Sync origins are the better-connected tail: they sit on a few
-        // sites each (the paper observes ≈4.2 pairs per origin), and the
-        // first visit only plants the cookie.
+                                                                                // Sync origins are the better-connected tail: they sit on a few
+                                                                                // sites each (the paper observes ≈4.2 pairs per origin), and the
+                                                                                // first visit only plants the cookie.
         if !catalog.services.get(svc).sync_to.is_empty() {
             k = rng.random_range(4..=8usize);
         }
@@ -832,7 +836,11 @@ fn decorate(
     }
 
     // -- Miners: coinhive 5, jsecoin 2, bitcoin-pay 1 (8 sites, §5.3). --
-    for (fqdn, count) in [("coinhive.com", 5usize), ("jsecoin.com", 2), ("bitcoin-pay.eu", 1)] {
+    for (fqdn, count) in [
+        ("coinhive.com", 5usize),
+        ("jsecoin.com", 2),
+        ("bitcoin-pay.eu", 1),
+    ] {
         if let Some(svc) = catalog.services.by_fqdn(fqdn) {
             let k = ((count as f64 * scale).round() as usize).max(1);
             for idx in pick_distinct(rng, &porn_ids, k) {
@@ -1009,7 +1017,11 @@ fn decorate(
     // -- Age gates (§7.2): structured over the top-50, background elsewhere.
     let mut by_rank: Vec<usize> = porn_ids.clone();
     by_rank.sort_by_key(|&i| sites[i].history.best().unwrap_or(u32::MAX));
-    let top50: Vec<usize> = by_rank.iter().copied().take((50.0 * scale).max(10.0) as usize).collect();
+    let top50: Vec<usize> = by_rank
+        .iter()
+        .copied()
+        .take((50.0 * scale).max(10.0) as usize)
+        .collect();
     let n50 = top50.len();
     // 12 % gate everywhere except Russia; 8 % gate everywhere incl. Russia;
     // 8 % gate ONLY in Russia; pornhub's Russian gate is a social login.
@@ -1170,7 +1182,11 @@ mod tests {
             assert!(s.has_keyword(), "{}", s.domain);
         }
         // Regular sites never match the keyword bag.
-        for s in pop.sites.iter().filter(|s| matches!(s.kind, SiteKind::Regular)) {
+        for s in pop
+            .sites
+            .iter()
+            .filter(|s| matches!(s.kind, SiteKind::Regular))
+        {
             assert!(!s.has_keyword(), "{}", s.domain);
         }
         let _ = config;
@@ -1179,12 +1195,19 @@ mod tests {
     #[test]
     fn flagships_present_with_ranks() {
         let pop = population(1);
-        let ph = pop.sites.iter().find(|s| s.domain == "pornhub.com").unwrap();
+        let ph = pop
+            .sites
+            .iter()
+            .find(|s| s.domain == "pornhub.com")
+            .unwrap();
         assert!(ph.flagship);
         assert!(ph.is_porn());
         assert!(ph.history.best().unwrap() < 1_000);
         assert_eq!(ph.age_gate.russia, Some(AgeGateKind::SocialLogin));
-        assert_eq!(ph.age_gate.in_country(Country::Spain), Some(AgeGateKind::SimpleButton));
+        assert_eq!(
+            ph.age_gate.in_country(Country::Spain),
+            Some(AgeGateKind::SimpleButton)
+        );
     }
 
     #[test]
@@ -1257,7 +1280,11 @@ mod tests {
         let frac = minimal as f64 / porn.len() as f64;
         assert!((0.03..0.16).contains(&frac), "minimal share {frac}");
         for s in porn.iter().filter(|s| s.minimal) {
-            assert!(s.deployments.is_empty(), "{} must stay tracker-free", s.domain);
+            assert!(
+                s.deployments.is_empty(),
+                "{} must stay tracker-free",
+                s.domain
+            );
         }
     }
 

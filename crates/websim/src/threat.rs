@@ -85,7 +85,10 @@ mod tests {
         let noisy = (0..500)
             .filter(|i| e.detections(&format!("clean{i}.com"), false) > 0)
             .count();
-        assert!(noisy > 10, "stray single-scanner hits should exist: {noisy}");
+        assert!(
+            noisy > 10,
+            "stray single-scanner hits should exist: {noisy}"
+        );
     }
 
     #[test]

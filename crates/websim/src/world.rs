@@ -104,7 +104,11 @@ impl World {
                 category_service.register(&site.domain, Category::Adult);
             }
         }
-        for site in sites.iter().filter(|s| matches!(s.kind, SiteKind::Regular)).take(40) {
+        for site in sites
+            .iter()
+            .filter(|s| matches!(s.kind, SiteKind::Regular))
+            .take(40)
+        {
             category_service.register(&site.domain, Category::News);
         }
 
@@ -117,9 +121,10 @@ impl World {
                 }
                 Some(_) => Registrant::Redacted,
                 None => match site.kind {
-                    SiteKind::Regular if rng.random_bool(0.6) => {
-                        Registrant::Organization(format!("{} Media Group", title_word(&site.domain)))
-                    }
+                    SiteKind::Regular if rng.random_bool(0.6) => Registrant::Organization(format!(
+                        "{} Media Group",
+                        title_word(&site.domain)
+                    )),
                     _ if rng.random_bool(0.02) => {
                         Registrant::AddressOnly("PO Box 311, Limassol, Cyprus".to_string())
                     }
@@ -146,9 +151,15 @@ impl World {
                         .chars()
                         .filter(|c| c.is_ascii_alphanumeric())
                         .collect();
-                    vec![format!("ns1.{slug}-infra.net"), format!("ns2.{slug}-infra.net")]
+                    vec![
+                        format!("ns1.{slug}-infra.net"),
+                        format!("ns2.{slug}-infra.net"),
+                    ]
                 }
-                None => vec![format!("ns{}.parked-dns.net", mix(site.id.0 as u64, 3) % 50)],
+                None => vec![format!(
+                    "ns{}.parked-dns.net",
+                    mix(site.id.0 as u64, 3) % 50
+                )],
             };
             dns.insert(
                 &site.domain,
@@ -289,7 +300,12 @@ impl World {
                     "jscdn.net" => Some("Open JS Foundation CDN"),
                     _ => None,
                 };
-                Certificate::leaf(&format!("*.{reg}"), org, vec![reg.clone()], mix(hash_str(&reg), 3))
+                Certificate::leaf(
+                    &format!("*.{reg}"),
+                    org,
+                    vec![reg.clone()],
+                    mix(hash_str(&reg), 3),
+                )
             }
             Some(HostEntity::Directory(_)) | None => {
                 Certificate::leaf(host, None, vec![host.to_string()], mix(hash_str(host), 9))
@@ -392,7 +408,10 @@ fn assign_policies(
     // Target: 16 % of the porn corpus carries a policy; every owned site
     // does; the remainder is spread over unowned sites.
     let porn_total = sites.iter().filter(|s| s.is_porn()).count();
-    let owned_total = sites.iter().filter(|s| s.is_porn() && s.owner.is_some()).count();
+    let owned_total = sites
+        .iter()
+        .filter(|s| s.is_porn() && s.owner.is_some())
+        .count();
     // Compliance follows popularity (§7.3/§7.1: "only the companies behind
     // some of the most popular pornographic websites seem to make efforts"):
     // the unowned-policy probability is tier-weighted and normalized so the

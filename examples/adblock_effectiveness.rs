@@ -22,6 +22,7 @@ use redlight::{World, WorldConfig};
 
 fn crawl(world: &World, domains: &[String], with_blocker: bool) -> CrawlRecord {
     let ctx = Browser::context_for(world, Country::Spain, BrowserKind::OpenWpm);
+    let client_ip = ctx.client_ip;
     let mut browser = Browser::new(world, ctx);
     if with_blocker {
         let mut filters = FilterSet::new();
@@ -42,6 +43,7 @@ fn crawl(world: &World, domains: &[String], with_blocker: bool) -> CrawlRecord {
     CrawlRecord {
         country: Country::Spain,
         corpus: CorpusLabel::Porn,
+        client_ip,
         visits,
     }
 }
@@ -71,10 +73,17 @@ fn main() {
             fp.canvas_sites.len(),
             sync_report.pairs.len(),
         );
-        (extract.third_party_fqdns.len(), third_cookies, fp.canvas_sites.len())
+        (
+            extract.third_party_fqdns.len(),
+            third_cookies,
+            fp.canvas_sites.len(),
+        )
     };
 
-    println!("crawling {} porn sites with and without EasyList+EasyPrivacy:\n", corpus.sanitized.len());
+    println!(
+        "crawling {} porn sites with and without EasyList+EasyPrivacy:\n",
+        corpus.sanitized.len()
+    );
     let (tp0, ck0, fp0) = metrics(&plain, "no blocker");
     let (tp1, ck1, fp1) = metrics(&blocked, "with blocker");
 

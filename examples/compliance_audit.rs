@@ -54,12 +54,7 @@ fn main() {
     // ---- Age verification on the most popular sites, four countries. ----
     let histories = world.rank_histories();
     let mut ranked: Vec<String> = corpus.sanitized.clone();
-    ranked.sort_by_key(|d| {
-        histories
-            .get(d)
-            .and_then(|h| h.best())
-            .unwrap_or(u32::MAX)
-    });
+    ranked.sort_by_key(|d| histories.get(d).and_then(|h| h.best()).unwrap_or(u32::MAX));
     let top: Vec<String> = ranked.into_iter().take(12).collect();
     let per_country: Vec<_> = [Country::Usa, Country::Uk, Country::Spain, Country::Russia]
         .into_iter()

@@ -39,7 +39,10 @@ fn main() {
         ),
         paper::compare("table8.eu_total_pct", results.banners_eu.total_pct),
     ];
-    println!("{}", paper::render_comparisons("Headline shape checks", &rows));
+    println!(
+        "{}",
+        paper::render_comparisons("Headline shape checks", &rows)
+    );
 }
 
 fn exo_pct(results: &redlight::StudyResults) -> f64 {

@@ -43,13 +43,18 @@ fn main() {
     );
     println!("\nheaviest Fig. 4 edges:");
     for (pair, count) in report.heavy_pairs(5).into_iter().take(12) {
-        println!("  {:<22} → {:<22} {count} cookies", pair.origin, pair.destination);
+        println!(
+            "  {:<22} → {:<22} {count} cookies",
+            pair.origin, pair.destination
+        );
     }
 
     // --- Control: restart the browser for every visit. ---
     let mut cold_visits = Vec::new();
+    let mut client_ip = std::net::Ipv4Addr::UNSPECIFIED;
     for domain in &corpus.sanitized {
         let ctx = Browser::context_for(&world, Country::Spain, BrowserKind::OpenWpm);
+        client_ip = ctx.client_ip;
         let mut fresh = Browser::new(&world, ctx); // empty jar every time
         let url = Url::parse(&format!("https://{domain}/")).expect("valid url");
         cold_visits.push(SiteVisitRecord {
@@ -60,6 +65,7 @@ fn main() {
     let cold_crawl = CrawlRecord {
         country: Country::Spain,
         corpus: CorpusLabel::Porn,
+        client_ip,
         visits: cold_visits,
     };
     let cold = sync::detect(&cold_crawl, &corpus.sanitized, 100);

@@ -61,7 +61,13 @@ fn main() {
 
     // ATS classification (§4.2(2)).
     let classifier = ats::AtsClassifier::from_lists(&world.easylist, &world.easyprivacy);
-    let table2 = ats::table2(&porn, &porn_parties, &regular, &regular_parties, &classifier);
+    let table2 = ats::table2(
+        &porn,
+        &porn_parties,
+        &regular,
+        &regular_parties,
+        &classifier,
+    );
     println!(
         "ATS domains: porn {} ({:.1}% of third parties), regular {}, intersection {} — the \
          semi-decoupled ecosystem",
@@ -90,7 +96,11 @@ fn main() {
         "Top organizations in the porn ecosystem",
         &["organization", "sites", "prevalence"],
     );
-    for org in attributor.prevalence(&porn_parties, porn.success_count()).iter().take(12) {
+    for org in attributor
+        .prevalence(&porn_parties, porn.success_count())
+        .iter()
+        .take(12)
+    {
         t.row(&[
             org.organization.clone(),
             org.sites.to_string(),

@@ -125,7 +125,11 @@ fn key_invariants_hold_across_results() {
     assert!((eu_sum - results.banners_eu.total_pct).abs() < 1e-6);
 
     // Geo rows exist for every crawled country.
-    assert_eq!(results.table7.rows.len(), 3, "tiny config crawls 3 countries");
+    assert_eq!(
+        results.table7.rows.len(),
+        3,
+        "tiny config crawls 3 countries"
+    );
 
     // Table 3 unique counts can never exceed totals.
     for row in &results.table3.rows {

@@ -1,8 +1,8 @@
 //! Tests for the extension features (the paper's §10 future work and §2.1
 //! background items implemented beyond the core reproduction).
 
-use redlight::analysis::{ats, cookies, crossborder, fingerprint, sync, thirdparty};
 use redlight::analysis::agegate::rta_prevalence;
+use redlight::analysis::{ats, cookies, crossborder, fingerprint, sync, thirdparty};
 use redlight::blocklist::FilterSet;
 use redlight::browser::Browser;
 use redlight::crawler::corpus::CorpusCompiler;
@@ -14,6 +14,7 @@ use redlight::{World, WorldConfig};
 
 fn crawl(world: &World, domains: &[String], blocker: bool) -> CrawlRecord {
     let ctx = Browser::context_for(world, Country::Spain, BrowserKind::OpenWpm);
+    let client_ip = ctx.client_ip;
     let mut browser = Browser::new(world, ctx);
     if blocker {
         let mut filters = FilterSet::new();
@@ -24,6 +25,7 @@ fn crawl(world: &World, domains: &[String], blocker: bool) -> CrawlRecord {
     CrawlRecord {
         country: Country::Spain,
         corpus: CorpusLabel::Porn,
+        client_ip,
         visits: domains
             .iter()
             .map(|d| SiteVisitRecord {
@@ -45,7 +47,12 @@ fn blocker_cuts_listed_trackers_but_not_unlisted_fingerprinters() {
 
     // Domain-wide-listed trackers must never be contacted with the blocker.
     let blocked_extract = thirdparty::extract(&blocked, true);
-    for fqdn in ["exoclick.com", "exosrv.com", "doubleclick.net", "addthis.com"] {
+    for fqdn in [
+        "exoclick.com",
+        "exosrv.com",
+        "doubleclick.net",
+        "addthis.com",
+    ] {
         assert_eq!(
             blocked_extract.sites_with(fqdn),
             0,
@@ -68,7 +75,9 @@ fn blocker_cuts_listed_trackers_but_not_unlisted_fingerprinters() {
 
     // …while most canvas fingerprinting survives (91 % unindexed, §5.1.3).
     let fp_before = fingerprint::detect(&plain, &classifier).canvas_sites.len();
-    let fp_after = fingerprint::detect(&blocked, &classifier).canvas_sites.len();
+    let fp_after = fingerprint::detect(&blocked, &classifier)
+        .canvas_sites
+        .len();
     // At this reduced scale the EasyList-indexed share of FP scripts is
     // overweighted (paper scale: 9 % indexed), so require survival rather
     // than near-total persistence.
@@ -113,12 +122,8 @@ fn sync_delimiter_splitting_only_adds_matches() {
     let corpus = CorpusCompiler::new(&world).compile();
     let record = crawl(&world, &corpus.sanitized, false);
 
-    let strict = sync::detect_with_options(
-        &record,
-        &corpus.sanitized,
-        50,
-        sync::SyncOptions::default(),
-    );
+    let strict =
+        sync::detect_with_options(&record, &corpus.sanitized, 50, sync::SyncOptions::default());
     let split = sync::detect_with_options(
         &record,
         &corpus.sanitized,
@@ -154,5 +159,8 @@ fn rta_labels_match_ground_truth() {
         })
         .count();
     assert_eq!(report.with_rta_label, truth, "RTA detection must be exact");
-    assert!(report.with_rta_pct < 20.0, "RTA adoption is a minority practice");
+    assert!(
+        report.with_rta_pct < 20.0,
+        "RTA adoption is a minority practice"
+    );
 }

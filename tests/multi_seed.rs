@@ -57,7 +57,10 @@ fn invariants_hold_across_seeds() {
         }
 
         // Compliance: banner totals and gate percentages stay bounded.
-        assert!((0.0..=100.0).contains(&results.banners_eu.total_pct), "{tag}");
+        assert!(
+            (0.0..=100.0).contains(&results.banners_eu.total_pct),
+            "{tag}"
+        );
         assert!(results.policies.with_policy <= c.sanitized, "{tag}");
 
         // The ownership report never attributes more sites than exist and

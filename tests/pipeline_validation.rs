@@ -79,9 +79,12 @@ fn canvas_detector_has_high_precision_and_recall() {
         .successful()
         .map(|v| v.domain.as_str())
         .collect();
-    for site in f.world.sites.iter().filter(|s| {
-        s.is_porn() && crawled.contains(s.domain.as_str()) && s.first_party_canvas
-    }) {
+    for site in f
+        .world
+        .sites
+        .iter()
+        .filter(|s| s.is_porn() && crawled.contains(s.domain.as_str()) && s.first_party_canvas)
+    {
         assert!(
             report.canvas_sites.contains(&site.domain),
             "missed first-party canvas on {}",
@@ -191,7 +194,11 @@ fn age_gate_detection_matches_ground_truth() {
             rec.domain
         );
         if truth == Some(AgeGateKind::SimpleButton) {
-            assert!(rec.age_gate_bypassed, "simple gate not bypassed: {}", rec.domain);
+            assert!(
+                rec.age_gate_bypassed,
+                "simple gate not bypassed: {}",
+                rec.domain
+            );
         }
         if truth == Some(AgeGateKind::SocialLogin) {
             assert!(!rec.age_gate_bypassed);
@@ -206,7 +213,9 @@ fn malware_detection_matches_threat_ground_truth() {
     struct Feed<'w>(&'w World);
     impl redlight::analysis::ThreatFeed for Feed<'_> {
         fn detections(&self, domain: &str) -> u8 {
-            self.0.scanners.detections(domain, self.0.truly_malicious(domain))
+            self.0
+                .scanners
+                .detections(domain, self.0.truly_malicious(domain))
         }
     }
     let report = malware::detect(&f.porn_crawl, &Feed(&f.world));

@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the configuration builder, `bench_function`/`Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros as a minimal
+//! wall-clock harness: warm up, pick an iteration count that fits the
+//! measurement budget, take `sample_size` samples, and report the mean and
+//! best per-iteration time on stdout. No statistics, plots, or baselines.
+//! See `vendor/README.md` for why external dependencies are vendored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(r) => println!(
+                "{id}: mean {} / best {} per iter ({} iters x {} samples)",
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.best_ns),
+                r.iters_per_sample,
+                self.sample_size,
+            ),
+            None => println!("{id}: no measurement (Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+struct Report {
+    mean_ns: f64,
+    best_ns: f64,
+    iters_per_sample: u64,
+}
+
+/// Passed to the benchmark closure; `iter` measures the routine.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it enough times to fill the configured
+    /// measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, which also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        let per_sample_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((per_sample_ns / per_iter_ns) as u64).clamp(1, 10_000_000);
+
+        let mut best_ns = f64::INFINITY;
+        let mut total_ns = 0.0;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let sample_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            best_ns = best_ns.min(sample_ns);
+            total_ns += sample_ns;
+        }
+        self.report = Some(Report {
+            mean_ns: total_ns / self.sample_size as f64,
+            best_ns,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running each group (for `harness = false` bench targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("stub/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        targets = target
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+    }
+}

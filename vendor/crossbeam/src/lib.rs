@@ -1,0 +1,102 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! This repository vendors the tiny slice of crossbeam it actually uses —
+//! `crossbeam::thread::scope` — implemented on top of `std::thread::scope`
+//! (stable since Rust 1.63). The build environment has no access to
+//! crates.io, so external dependencies are vendored as minimal
+//! API-compatible shims; see `vendor/README.md`.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Result of joining a scoped thread (or the whole scope): `Err` carries
+    /// the panic payload, as with `std::thread::Result`.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle passed to the closure given to [`scope`]; lets the
+    /// closure (and spawned threads) spawn further scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it can
+        /// spawn siblings, exactly like crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. Returns `Err` with the panic payload if the
+    /// closure or any un-joined spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u32, 2, 3];
+        let sum = super::thread::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<u32>());
+            let h2 = s.spawn(|_| data.len() as u32);
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 9);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7u32).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the `proptest!` macro, `prop_assert*`, `any::<T>()`, range and
+//! regex-string strategies, and `collection::vec` — enough to run this
+//! repository's property suite. Cases are generated from a deterministic
+//! per-test RNG (seeded by FNV-1a of the test name), so failures reproduce
+//! exactly; there is no shrinking. Case count defaults to 256 and can be
+//! overridden with the `PROPTEST_CASES` environment variable. See
+//! `vendor/README.md` for why external dependencies are vendored.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+use std::marker::PhantomData;
+
+use rand::prelude::*;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_via_random {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+arbitrary_via_random!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing any value of type `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__proptest_rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            __proptest_rng,
+                        );
+                    )+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The usual one-stop import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn generated_values_obey_strategies(
+            byte in any::<u8>(),
+            flag in any::<bool>(),
+            small in 1u32..10,
+            word in "[a-z]{2,5}",
+            items in crate::collection::vec(any::<u8>(), 0..4),
+        ) {
+            let _ = (byte, flag);
+            prop_assert!((1..10).contains(&small));
+            prop_assert!(word.len() >= 2 && word.len() <= 5);
+            prop_assert!(word.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(items.len() < 4);
+        }
+    }
+
+    #[test]
+    fn same_test_name_generates_same_cases() {
+        let collect = || {
+            let mut out = Vec::new();
+            crate::test_runner::run("stability_probe", |rng| {
+                out.push(crate::strategy::Strategy::generate(&"[a-z0-9]{0,16}", rng));
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,409 @@
+//! A tiny regex-directed string generator.
+//!
+//! Real proptest interprets a string-literal strategy as a regular
+//! expression and generates matching strings. This module implements the
+//! regex subset the repository's property tests use: literals, escapes,
+//! `.`, `\PC`, `\d`, `\w`, character classes (ranges, negation, literal
+//! `-`/`^`), groups with alternation, and the `{m,n}` / `{n}` / `?` / `*` /
+//! `+` quantifiers. Unbounded quantifiers are capped at 8 repetitions.
+
+use rand::prelude::*;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Characters beyond printable ASCII that `.` / `\PC` occasionally emit, so
+/// parsers see multi-byte UTF-8 without breaking "non-control" guarantees.
+const UNICODE_POOL: &[char] = ['é', 'ß', 'ñ', 'Ω', '→', '漢', '字', '🦀', '☃'].as_slice();
+
+/// Tricky-but-legal characters for `.` (anything except `\n`).
+const TRICKY_POOL: &[char] = ['\t', '\r', '\u{0}', '\u{7f}', '\u{1b}'].as_slice();
+
+#[derive(Debug)]
+enum Node {
+    Lit(char),
+    /// `.` — any character except `\n`.
+    AnyChar,
+    /// `\PC` — any non-control character.
+    NotControl,
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
+    /// `( alt | alt | ... )`.
+    Group(Vec<Vec<Node>>),
+    Repeat {
+        node: Box<Node>,
+        min: u32,
+        max: u32,
+    },
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Parser<'a> {
+        Parser {
+            pattern,
+            chars: pattern.chars().peekable(),
+        }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("vendored proptest: {what} in pattern {:?}", self.pattern)
+    }
+
+    fn parse_alternatives(&mut self, in_group: bool) -> Vec<Vec<Node>> {
+        let mut alternatives = vec![Vec::new()];
+        loop {
+            match self.chars.peek() {
+                None => {
+                    if in_group {
+                        self.fail("unclosed group");
+                    }
+                    break;
+                }
+                Some(')') if in_group => break,
+                Some('|') => {
+                    self.chars.next();
+                    alternatives.push(Vec::new());
+                }
+                Some(_) => {
+                    let atom = self.parse_atom();
+                    let atom = self.maybe_quantify(atom);
+                    alternatives.last_mut().unwrap().push(atom);
+                }
+            }
+        }
+        alternatives
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next().unwrap() {
+            '(' => {
+                let alternatives = self.parse_alternatives(true);
+                if self.chars.next() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                Node::Group(alternatives)
+            }
+            '[' => self.parse_class(),
+            '.' => Node::AnyChar,
+            '\\' => self.parse_escape(),
+            other => Node::Lit(other),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self
+            .chars
+            .next()
+            .unwrap_or_else(|| self.fail("dangling \\"))
+        {
+            'P' => match self.chars.next() {
+                Some('C') => Node::NotControl,
+                _ => self.fail("only \\PC is supported"),
+            },
+            'd' => Node::Class {
+                negated: false,
+                ranges: vec![('0', '9')],
+            },
+            'w' => Node::Class {
+                negated: false,
+                ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+            },
+            'n' => Node::Lit('\n'),
+            't' => Node::Lit('\t'),
+            'r' => Node::Lit('\r'),
+            other => Node::Lit(other),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let negated = self.chars.peek() == Some(&'^');
+        if negated {
+            self.chars.next();
+        }
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            match self
+                .chars
+                .next()
+                .unwrap_or_else(|| self.fail("unclosed class"))
+            {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    break;
+                }
+                '\\' => {
+                    let escaped = self
+                        .chars
+                        .next()
+                        .unwrap_or_else(|| self.fail("dangling \\ in class"));
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    pending = Some(escaped);
+                }
+                '-' => match (pending, self.chars.peek()) {
+                    (Some(lo), Some(&hi)) if hi != ']' => {
+                        self.chars.next();
+                        if lo > hi {
+                            self.fail("inverted class range");
+                        }
+                        ranges.push((lo, hi));
+                        pending = None;
+                    }
+                    _ => {
+                        // Leading or trailing '-' is a literal.
+                        if let Some(p) = pending {
+                            ranges.push((p, p));
+                        }
+                        pending = Some('-');
+                    }
+                },
+                other => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    pending = Some(other);
+                }
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty class");
+        }
+        Node::Class { negated, ranges }
+    }
+
+    fn maybe_quantify(&mut self, node: Node) -> Node {
+        let (min, max) = match self.chars.peek() {
+            Some('?') => (0, 1),
+            Some('*') => (0, UNBOUNDED_CAP),
+            Some('+') => (1, UNBOUNDED_CAP),
+            Some('{') => {
+                self.chars.next();
+                let mut min_digits = String::new();
+                let mut max_digits = String::new();
+                let mut saw_comma = false;
+                loop {
+                    match self.chars.next().unwrap_or_else(|| self.fail("unclosed {")) {
+                        '}' => break,
+                        ',' => saw_comma = true,
+                        d if d.is_ascii_digit() => {
+                            if saw_comma {
+                                max_digits.push(d);
+                            } else {
+                                min_digits.push(d);
+                            }
+                        }
+                        _ => self.fail("bad quantifier"),
+                    }
+                }
+                let min: u32 = min_digits
+                    .parse()
+                    .unwrap_or_else(|_| self.fail("bad quantifier"));
+                let max = if !saw_comma {
+                    min
+                } else if max_digits.is_empty() {
+                    min + UNBOUNDED_CAP
+                } else {
+                    max_digits
+                        .parse()
+                        .unwrap_or_else(|_| self.fail("bad quantifier"))
+                };
+                if min > max {
+                    self.fail("inverted quantifier");
+                }
+                return Node::Repeat {
+                    node: Box::new(node),
+                    min,
+                    max,
+                };
+            }
+            _ => return node,
+        };
+        self.chars.next();
+        Node::Repeat {
+            node: Box::new(node),
+            min,
+            max,
+        }
+    }
+}
+
+fn any_char(rng: &mut StdRng) -> char {
+    match rng.random_range(0..24u32) {
+        0 => TRICKY_POOL[rng.random_range(0..TRICKY_POOL.len())],
+        1 | 2 => UNICODE_POOL[rng.random_range(0..UNICODE_POOL.len())],
+        _ => char::from(rng.random_range(0x20..0x7fu8)),
+    }
+}
+
+fn non_control_char(rng: &mut StdRng) -> char {
+    if rng.random_range(0..12u32) == 0 {
+        UNICODE_POOL[rng.random_range(0..UNICODE_POOL.len())]
+    } else {
+        char::from(rng.random_range(0x20..0x7fu8))
+    }
+}
+
+fn in_ranges(c: char, ranges: &[(char, char)]) -> bool {
+    ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c))
+}
+
+fn class_char(ranges: &[(char, char)], rng: &mut StdRng) -> char {
+    let total: u32 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum();
+    let mut pick = rng.random_range(0..total);
+    for &(lo, hi) in ranges {
+        let width = hi as u32 - lo as u32 + 1;
+        if pick < width {
+            return char::from_u32(lo as u32 + pick)
+                .expect("class range spans invalid scalar values");
+        }
+        pick -= width;
+    }
+    unreachable!()
+}
+
+fn generate_node(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::AnyChar => out.push(any_char(rng)),
+        Node::NotControl => out.push(non_control_char(rng)),
+        Node::Class {
+            negated: false,
+            ranges,
+        } => out.push(class_char(ranges, rng)),
+        Node::Class {
+            negated: true,
+            ranges,
+        } => loop {
+            let c = any_char(rng);
+            if !in_ranges(c, ranges) {
+                out.push(c);
+                break;
+            }
+        },
+        Node::Group(alternatives) => {
+            let picked = &alternatives[rng.random_range(0..alternatives.len())];
+            for n in picked {
+                generate_node(n, rng, out);
+            }
+        }
+        Node::Repeat { node, min, max } => {
+            let count = rng.random_range(*min..=*max);
+            for _ in 0..count {
+                generate_node(node, rng, out);
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let alternatives = parser.parse_alternatives(false);
+    let mut out = String::new();
+    let picked = &alternatives[rng.random_range(0..alternatives.len())];
+    for node in picked {
+        generate_node(node, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xfeed)
+    }
+
+    #[test]
+    fn class_and_repeat_bounds_hold() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9]{0,10}", &mut rng);
+            let n = s.chars().count();
+            assert!((1..=11).contains(&n), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn grouped_domains_look_like_domains() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[a-z]{1,8}(\\.[a-z]{1,8}){0,4}", &mut rng);
+            assert!(!s.is_empty());
+            for label in s.split('.') {
+                assert!((1..=8).contains(&label.len()), "{s:?}");
+                assert!(label.bytes().all(|b| b.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn optional_group_and_symbol_class() {
+        let mut rng = rng();
+        let mut saw_prefix = false;
+        for _ in 0..200 {
+            let s = generate_matching("(\\|\\|)?[a-z0-9.*^/$,=~-]{1,60}", &mut rng);
+            let rest = s
+                .strip_prefix("||")
+                .inspect(|_| saw_prefix = true)
+                .unwrap_or(&s);
+            assert!((1..=60).contains(&rest.len()), "{s:?}");
+            assert!(rest
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ".*^/$,=~-".contains(c)));
+        }
+        assert!(saw_prefix);
+    }
+
+    #[test]
+    fn dot_never_emits_newline_and_pc_never_emits_controls() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            assert!(!generate_matching(".{0,200}", &mut rng).contains('\n'));
+            assert!(generate_matching("\\PC{0,200}", &mut rng)
+                .chars()
+                .all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = rng();
+        let mut saw_dash = false;
+        for _ in 0..300 {
+            let s = generate_matching("[a-zA-Z0-9%=.|-]{0,64}", &mut rng);
+            saw_dash |= s.contains('-');
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "%=.|-".contains(c)));
+        }
+        assert!(saw_dash);
+    }
+
+    #[test]
+    fn negated_class_excludes_members() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[^a-z]{1,20}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic case loop: every property test runs `PROPTEST_CASES`
+//! (default 256) generated cases from an RNG seeded by the test's name, so
+//! a failing case reproduces on every run.
+
+use rand::prelude::*;
+
+const DEFAULT_CASES: u32 = 256;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Runs `case` repeatedly with a name-seeded deterministic RNG.
+pub fn run(name: &str, mut case: impl FnMut(&mut StdRng)) {
+    let mut rng = StdRng::seed_from_u64(fnv1a(name.as_bytes()));
+    for _ in 0..cases() {
+        case(&mut rng);
+    }
+}

@@ -1,0 +1,176 @@
+//! ChaCha12 block core with a 4-block (64-word) output buffer, mirroring the
+//! rand_chacha / rand_core `BlockRng` structure: `next_u32` consumes one
+//! buffered word, `next_u64` consumes two (with the documented straddle
+//! behaviour at the last word of the buffer).
+
+const BUF_WORDS: usize = 64;
+const BLOCK_WORDS: usize = 16;
+const ROUNDS: usize = 12;
+
+/// ChaCha12 keystream generator over a 256-bit key, zero nonce.
+#[derive(Clone)]
+pub struct ChaCha12 {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; BUF_WORDS],
+    index: usize,
+}
+
+impl std::fmt::Debug for ChaCha12 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("ChaCha12")
+            .field("counter", &self.counter)
+            .field("index", &self.index)
+            .finish_non_exhaustive()
+    }
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn block(key: &[u32; 8], counter: u64) -> [u32; BLOCK_WORDS] {
+    // "expand 32-byte k" || key || 64-bit block counter || 64-bit zero nonce.
+    let initial: [u32; BLOCK_WORDS] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let mut working = initial;
+    for _ in 0..ROUNDS / 2 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for (w, i) in working.iter_mut().zip(initial) {
+        *w = w.wrapping_add(i);
+    }
+    working
+}
+
+impl ChaCha12 {
+    pub fn from_seed(seed: [u8; 32]) -> ChaCha12 {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha12 {
+            key,
+            counter: 0,
+            buf: [0; BUF_WORDS],
+            // Start exhausted so the first read generates the first buffer.
+            index: BUF_WORDS,
+        }
+    }
+
+    /// Refills the buffer with the next four blocks and resets the cursor.
+    fn generate(&mut self) {
+        for (slot, chunk) in self.buf.chunks_exact_mut(BLOCK_WORDS).enumerate() {
+            chunk.copy_from_slice(&block(&self.key, self.counter + slot as u64));
+        }
+        self.counter += (BUF_WORDS / BLOCK_WORDS) as u64;
+        self.index = 0;
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate();
+        }
+        let word = self.buf[self.index];
+        self.index += 1;
+        word
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let read_pair =
+            |buf: &[u32; BUF_WORDS], at: usize| (u64::from(buf[at + 1]) << 32) | u64::from(buf[at]);
+        if self.index < BUF_WORDS - 1 {
+            let value = read_pair(&self.buf, self.index);
+            self.index += 2;
+            value
+        } else if self.index >= BUF_WORDS {
+            self.generate();
+            self.index = 2;
+            read_pair(&self.buf, 0)
+        } else {
+            // Straddle: last word of this buffer is the low half, first word
+            // of the next buffer is the high half (BlockRng semantics).
+            let lo = u64::from(self.buf[BUF_WORDS - 1]);
+            self.generate();
+            self.index = 1;
+            (u64::from(self.buf[0]) << 32) | lo
+        }
+    }
+
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keystream_is_stable_across_refills() {
+        let mut a = ChaCha12::from_seed([7; 32]);
+        let mut b = ChaCha12::from_seed([7; 32]);
+        // Push `a` to the straddle point with u32 reads, then compare a u64
+        // assembled by hand against the straddle path.
+        let mut head = Vec::new();
+        for _ in 0..BUF_WORDS - 1 {
+            head.push(a.next_u32());
+        }
+        let straddled = a.next_u64();
+        for w in &head {
+            assert_eq!(b.next_u32(), *w);
+        }
+        let lo = u64::from(b.next_u32());
+        let hi = u64::from(b.next_u32());
+        assert_eq!(straddled, (hi << 32) | lo);
+    }
+
+    #[test]
+    fn different_counters_give_different_blocks() {
+        let key = [1u32; 8];
+        assert_ne!(block(&key, 0), block(&key, 1));
+    }
+
+    #[test]
+    fn zero_key_block_is_nontrivial() {
+        let b = block(&[0; 8], 0);
+        assert!(b.iter().any(|&w| w != 0));
+        // Not just the initial state echoed back.
+        assert_ne!(b[0], 0x6170_7865);
+    }
+}

@@ -1,0 +1,59 @@
+//! The standard distribution: full-range integers, the unit interval for
+//! floats, and a fair coin for `bool`.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The distribution used by `Rng::random`: uniform over the whole type
+/// (integers, `bool`) or over `[0, 1)` (floats).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardUniform;
+
+macro_rules! standard_via_u32 {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for StandardUniform {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! standard_via_u64 {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for StandardUniform {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_via_u32!(u8, u16, u32, i8, i16, i32);
+standard_via_u64!(u64, i64, usize, isize);
+
+impl Distribution<bool> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Sign bit of a uniform word.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 uniform bits into [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the slice of the rand API this workspace uses on top of a
+//! ChaCha12 block cipher core — the same generator family as the real
+//! `StdRng` — with rand_core's PCG32-based `seed_from_u64` expansion and
+//! Lemire's unbiased widening-multiply method for integer ranges. The goal
+//! is fully deterministic, well-distributed sampling with the identical API,
+//! not bit-for-bit parity with any particular rand release. See
+//! `vendor/README.md` for why external dependencies are vendored.
+
+pub mod rngs;
+pub mod seq;
+
+mod chacha;
+mod distr;
+mod uniform;
+
+pub use distr::{Distribution, StandardUniform};
+pub use uniform::SampleRange;
+
+/// The core generator interface: a source of uniformly random bits.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed material (`[u8; 32]` for [`rngs::StdRng`]).
+    type Seed: Default + AsRef<[u8]> + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with a PCG32 stream (the rand_core
+    /// expansion), then constructs the generator.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&word.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the standard (full-range / unit-interval)
+    /// distribution for `T`.
+    fn random<T>(&mut self) -> T
+    where
+        StandardUniform: Distribution<T>,
+    {
+        StandardUniform.sample(self)
+    }
+
+    /// Samples uniformly from a range; `..` and `..=` are both accepted.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare against p in 0.64 fixed point; exact for p = 0.
+        self.next_u64() < (p * 18_446_744_073_709_551_616.0) as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The usual one-stop import, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::{IndexedRandom, SliceRandom};
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn mixed_width_calls_stay_deterministic() {
+        // Interleave u32/u64 reads across the 64-word block boundary
+        // (including the straddle at index 63) and replay them.
+        let trace = |mut rng: StdRng| -> Vec<u64> {
+            let mut out = Vec::new();
+            for i in 0..200 {
+                if i % 3 == 0 {
+                    out.push(u64::from(rng.next_u32()));
+                } else {
+                    out.push(rng.next_u64());
+                }
+            }
+            out
+        };
+        assert_eq!(
+            trace(StdRng::seed_from_u64(42)),
+            trace(StdRng::seed_from_u64(42))
+        );
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let a: i32 = rng.random_range(500..40_000);
+            assert!((500..40_000).contains(&a));
+            let b: u8 = rng.random_range(0..12u8);
+            assert!(b < 12);
+            let c: usize = rng.random_range(1..=2usize);
+            assert!((1..=2).contains(&c));
+            let d: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&d));
+            let e: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&e));
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 12];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..12u8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_f64_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_choose_is_in_slice() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some_and(|x| *x < 50));
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic() {
+        let mut a = [0u8; 37];
+        let mut b = [0u8; 37];
+        StdRng::seed_from_u64(11).fill_bytes(&mut a);
+        StdRng::seed_from_u64(11).fill_bytes(&mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x != 0));
+    }
+}

@@ -1,0 +1,31 @@
+//! Named generators. Only `StdRng` is provided: the deterministic,
+//! seedable generator the whole simulation runs on.
+
+use crate::chacha::ChaCha12;
+use crate::{RngCore, SeedableRng};
+
+/// The standard generator: ChaCha12, as in current upstream rand.
+#[derive(Clone, Debug)]
+pub struct StdRng(ChaCha12);
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> StdRng {
+        StdRng(ChaCha12::from_seed(seed))
+    }
+}

@@ -1,0 +1,39 @@
+//! Sequence helpers: in-place shuffling and uniform element choice.
+
+use crate::{Rng, RngCore};
+
+/// Mutating sequence operations (`rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Uniformly permutes the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Read-only indexed operations (`rand::seq::IndexedRandom`).
+pub trait IndexedRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniformly picks a reference to one element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Uniform sampling from `a..b` / `a..=b` ranges.
+//!
+//! Integers use Lemire's widening-multiply method (unbiased, at most one
+//! extra draw in the rejection loop's cold path); floats scale 53 uniform
+//! bits across the span.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A range that can be sampled directly, as accepted by `Rng::random_range`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[0, span)` for `span >= 1` via Lemire's method.
+fn u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span >= 1);
+    let mut product = u128::from(rng.next_u64()) * u128::from(span);
+    let mut low = product as u64;
+    if low < span {
+        let threshold = span.wrapping_neg() % span;
+        while low < threshold {
+            product = u128::from(rng.next_u64()) * u128::from(span);
+            low = product as u64;
+        }
+    }
+    (product >> 64) as u64
+}
+
+macro_rules! uniform_int {
+    ($($t:ty as $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add(u64_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "empty range in random_range");
+                let span = (end.wrapping_sub(start) as $u as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int!(
+    u8 as u8,
+    u16 as u16,
+    u32 as u32,
+    u64 as u64,
+    usize as usize,
+    i8 as u8,
+    i16 as u16,
+    i32 as u32,
+    i64 as u64,
+    isize as usize,
+);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+            "invalid f64 range in random_range"
+        );
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let value = self.start + (self.end - self.start) * unit;
+        // Guard against the half-open bound being hit through rounding.
+        if value < self.end {
+            value
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = self.into_inner();
+        assert!(
+            start <= end && start.is_finite() && end.is_finite(),
+            "invalid f64 range in random_range"
+        );
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        start + (end - start) * unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn signed_ranges_cover_negative_spans() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen_neg = false;
+        for _ in 0..200 {
+            let v: i32 = rng.random_range(-3..3);
+            assert!((-3..3).contains(&v));
+            seen_neg |= v < 0;
+        }
+        assert!(seen_neg);
+    }
+
+    #[test]
+    fn inclusive_hits_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..500 {
+            match rng.random_range(1..=2usize) {
+                1 => lo = true,
+                2 => hi = true,
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: u32 = rng.random_range(5..5u32);
+    }
+}

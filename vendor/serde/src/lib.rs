@@ -1,0 +1,129 @@
+//! Offline stand-in for `serde`.
+//!
+//! Only the trait *surface* this repository compiles against is provided:
+//! `Serialize`/`Serializer` and `Deserialize`/`Deserializer` with the handful
+//! of methods used by `net::http::serde_bytes_b64`. The traits carry default
+//! method bodies that return an error, which lets the vendored `serde_derive`
+//! emit empty marker impls. No data format ships with this stub — nothing in
+//! the tree serializes at runtime. See `vendor/README.md`.
+
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Error constructor surface used by serializer implementations.
+    pub trait Error: Sized {
+        /// Builds a custom error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// The subset of serde's `Serializer` this repository calls.
+    pub trait Serializer: Sized {
+        /// Output on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Serializes a string slice.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// A serializable type. The default body errors: the stub ships no data
+    /// format, and derived impls are markers only.
+    pub trait Serialize {
+        /// Serializes `self` (stub: always an error).
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let _ = serializer;
+            Err(S::Error::custom(
+                "vendored serde stub: serialization is not implemented",
+            ))
+        }
+    }
+}
+
+pub mod de {
+    use std::fmt::Display;
+
+    /// Error constructor surface used by deserializer implementations.
+    pub trait Error: Sized {
+        /// Builds a custom error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// The subset of serde's `Deserializer` this repository names in bounds.
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+    }
+
+    /// A deserializable type. The default body errors, matching the
+    /// serialize side.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes a value (stub: always an error).
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let _ = deserializer;
+            Err(D::Error::custom(
+                "vendored serde stub: deserialization is not implemented",
+            ))
+        }
+    }
+
+    macro_rules! marker_deserialize {
+        ($($t:ty),* $(,)?) => {
+            $( impl<'de> Deserialize<'de> for $t {} )*
+        };
+    }
+
+    marker_deserialize!(
+        String, bool, char, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64
+    );
+}
+
+macro_rules! marker_serialize {
+    ($($t:ty),* $(,)?) => {
+        $( impl ser::Serialize for $t {} )*
+    };
+}
+
+marker_serialize!(
+    String, str, bool, char, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64
+);
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt::Display;
+
+    struct StringSerializer;
+
+    impl ser::Error for String {
+        fn custom<T: Display>(msg: T) -> Self {
+            msg.to_string()
+        }
+    }
+
+    impl Serializer for StringSerializer {
+        type Ok = String;
+        type Error = String;
+
+        fn serialize_str(self, v: &str) -> Result<String, String> {
+            Ok(v.to_string())
+        }
+    }
+
+    #[test]
+    fn serializer_surface_works() {
+        assert_eq!(StringSerializer.serialize_str("x"), Ok("x".to_string()));
+    }
+
+    #[test]
+    fn default_serialize_errors() {
+        let r = Serialize::serialize(&1u32, StringSerializer);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The repository derives `Serialize`/`Deserialize` purely as a forward-compat
+//! marker — nothing serializes at runtime (there is no `serde_json` in the
+//! tree). This derive therefore emits an *empty* trait impl; the vendored
+//! `serde` traits supply default method bodies that return an error. The
+//! `serde` helper attribute is declared so `#[serde(...)]` annotations remain
+//! inert, exactly as with the real derive. See `vendor/README.md`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name: the identifier following `struct`/`enum`/`union`.
+///
+/// Generic types are intentionally unsupported — every derive in this
+/// repository is on a concrete type, and a loud failure here beats silently
+/// emitting an impl that does not compile.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(word) = &tt {
+            let word = word.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        let name = name.to_string();
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "vendored serde_derive does not support generic type `{name}`"
+                            );
+                        }
+                        return name;
+                    }
+                    other => panic!("expected type name after `{word}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("vendored serde_derive: no struct/enum/union found in derive input")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
