@@ -5,30 +5,74 @@
 //! against the full request URL; counting ATS *organizations* relaxes the
 //! match to the base FQDN.
 
-use std::collections::BTreeSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use redlight_blocklist::{FilterSet, RequestContext};
 use redlight_net::http::ResourceKind;
+use redlight_net::psl::{CacheStats, HostCache};
 use serde::{Deserialize, Serialize};
 
 use crate::thirdparty::ThirdPartyExtract;
 use redlight_crawler::db::CrawlRecord;
 
+/// Owned key of one memoized full-URL verdict.
+type UrlKey = (Box<str>, Box<str>, Box<str>, ResourceKind);
+
 /// The classifier, loaded with both lists.
+///
+/// Both entry points are memoized: the same `(url, page, host, kind)`
+/// tuples and the same FQDNs recur across stages (the full-URL pass runs in
+/// the ATS, geo and fingerprinting stages over the same crawls), so each
+/// verdict is computed once per classifier. Verdict caches are keyed by
+/// hash with exact key comparison inside the bucket — a cache hit costs no
+/// allocation, and a 64-bit collision cannot flip a verdict.
 pub struct AtsClassifier {
     filters: FilterSet,
+    hosts: Arc<HostCache>,
+    url_cache: RwLock<HashMap<u64, Vec<(UrlKey, bool)>>>,
+    fqdn_cache: RwLock<HashMap<String, bool>>,
+    url_hits: AtomicU64,
+    url_misses: AtomicU64,
+    fqdn_hits: AtomicU64,
+    fqdn_misses: AtomicU64,
 }
 
 impl AtsClassifier {
-    /// Parses the EasyList + EasyPrivacy snapshots.
+    /// Parses the EasyList + EasyPrivacy snapshots with a private host
+    /// cache.
     pub fn from_lists(easylist: &str, easyprivacy: &str) -> Self {
+        Self::with_hosts(easylist, easyprivacy, Arc::new(HostCache::new()))
+    }
+
+    /// Parses the lists, sharing `hosts` (the pipeline-wide eTLD+1 memo)
+    /// for third-party derivation.
+    pub fn with_hosts(easylist: &str, easyprivacy: &str, hosts: Arc<HostCache>) -> Self {
         let mut filters = FilterSet::new();
         filters.add_list(easylist);
         filters.add_list(easyprivacy);
-        AtsClassifier { filters }
+        AtsClassifier {
+            filters,
+            hosts,
+            url_cache: RwLock::new(HashMap::new()),
+            fqdn_cache: RwLock::new(HashMap::new()),
+            url_hits: AtomicU64::new(0),
+            url_misses: AtomicU64::new(0),
+            fqdn_hits: AtomicU64::new(0),
+            fqdn_misses: AtomicU64::new(0),
+        }
     }
 
-    /// Full-URL matching: an actual instance of tracking.
+    /// The shared host → eTLD+1 memo this classifier resolves with.
+    pub fn hosts(&self) -> &Arc<HostCache> {
+        &self.hosts
+    }
+
+    /// Full-URL matching: an actual instance of tracking. Memoized per
+    /// `(url, page_host, request_host, kind)`.
     pub fn is_ats_url(
         &self,
         url: &str,
@@ -36,14 +80,69 @@ impl AtsClassifier {
         request_host: &str,
         kind: ResourceKind,
     ) -> bool {
-        let ctx = RequestContext::new(page_host, request_host, kind);
-        self.filters.matches(url, &ctx).is_blocked()
+        let mut hasher = DefaultHasher::new();
+        (url, page_host, request_host, kind).hash(&mut hasher);
+        let key_hash = hasher.finish();
+        if let Some(bucket) = self
+            .url_cache
+            .read()
+            .expect("url cache lock")
+            .get(&key_hash)
+        {
+            for ((k_url, k_page, k_req, k_kind), verdict) in bucket {
+                if k_kind == &kind
+                    && k_url.as_ref() == url
+                    && k_page.as_ref() == page_host
+                    && k_req.as_ref() == request_host
+                {
+                    self.url_hits.fetch_add(1, Ordering::Relaxed);
+                    return *verdict;
+                }
+            }
+        }
+        self.url_misses.fetch_add(1, Ordering::Relaxed);
+        let ctx = RequestContext::with_hosts(page_host, request_host, kind, &self.hosts);
+        let verdict = self.filters.matches(url, &ctx).is_blocked();
+        self.url_cache
+            .write()
+            .expect("url cache lock")
+            .entry(key_hash)
+            .or_default()
+            .push((
+                (url.into(), page_host.into(), request_host.into(), kind),
+                verdict,
+            ));
+        verdict
     }
 
     /// Relaxed FQDN matching: the domain belongs to a known ATS
-    /// organization.
+    /// organization. Memoized per FQDN.
     pub fn is_ats_fqdn(&self, fqdn: &str) -> bool {
-        self.filters.matches_fqdn_relaxed(fqdn)
+        if let Some(&verdict) = self.fqdn_cache.read().expect("fqdn cache lock").get(fqdn) {
+            self.fqdn_hits.fetch_add(1, Ordering::Relaxed);
+            return verdict;
+        }
+        self.fqdn_misses.fetch_add(1, Ordering::Relaxed);
+        let verdict = self.filters.matches_fqdn_relaxed(fqdn);
+        self.fqdn_cache
+            .write()
+            .expect("fqdn cache lock")
+            .insert(fqdn.to_string(), verdict);
+        verdict
+    }
+
+    /// Hit/miss counters of the (URL verdict, FQDN verdict) memos.
+    pub fn cache_stats(&self) -> (CacheStats, CacheStats) {
+        (
+            CacheStats {
+                hits: self.url_hits.load(Ordering::Relaxed),
+                misses: self.url_misses.load(Ordering::Relaxed),
+            },
+            CacheStats {
+                hits: self.fqdn_hits.load(Ordering::Relaxed),
+                misses: self.fqdn_misses.load(Ordering::Relaxed),
+            },
+        )
     }
 
     /// Number of loaded rules.
@@ -165,5 +264,32 @@ mod tests {
         assert!(cls.is_ats_fqdn("metrics.io"));
         assert!(!cls.is_ats_fqdn("clean.org"));
         assert_eq!(cls.rule_count(), 3);
+    }
+
+    #[test]
+    fn verdicts_are_memoized() {
+        let cls = AtsClassifier::from_lists("||exoclick.com^\n", "");
+        for _ in 0..3 {
+            assert!(cls.is_ats_url(
+                "https://exoclick.com/tag.js",
+                "porn.site",
+                "exoclick.com",
+                ResourceKind::Script
+            ));
+            assert!(!cls.is_ats_fqdn("clean.org"));
+        }
+        let (url, fqdn) = cls.cache_stats();
+        assert_eq!((url.misses, url.hits), (1, 2));
+        assert_eq!((fqdn.misses, fqdn.hits), (1, 2));
+        // The host memo was consulted for the third-party derivation.
+        assert!(!cls.hosts().is_empty());
+        // Same URL with a different kind is a distinct verdict.
+        assert!(cls.is_ats_url(
+            "https://exoclick.com/tag.js",
+            "porn.site",
+            "exoclick.com",
+            ResourceKind::Image
+        ));
+        assert_eq!(cls.cache_stats().0.misses, 2);
     }
 }

@@ -17,7 +17,7 @@ use redlight_browser::canvas::CanvasActivity;
 use serde::{Deserialize, Serialize};
 
 use crate::ats::AtsClassifier;
-use crate::util::{pct, reg, same_site};
+use crate::util::pct;
 use redlight_crawler::db::CrawlRecord;
 
 /// Minimum canvas edge (px).
@@ -132,9 +132,10 @@ pub fn detect(crawl: &CrawlRecord, classifier: &AtsClassifier) -> FingerprintRep
             }
             if canvas_hit {
                 canvas_sites.insert(record.domain.clone());
-                let third_party = !same_site(&id.host, page_host);
+                let hosts = classifier.hosts();
+                let third_party = !hosts.same_site(&id.host, page_host);
                 if third_party {
-                    canvas_services.insert(reg(&id.host).to_string());
+                    canvas_services.insert(hosts.registrable(&id.host).to_string());
                     third_party_scripts.insert(id.clone());
                 }
                 if let Some(u) = script_url {
@@ -197,12 +198,13 @@ pub fn table5(
     classifier: &AtsClassifier,
     top_n: usize,
 ) -> Vec<Table5Row> {
+    let hosts = classifier.hosts();
     let mut domains: BTreeSet<String> = BTreeSet::new();
     for s in &fp.canvas_scripts {
-        domains.insert(reg(&s.host).to_string());
+        domains.insert(hosts.registrable(&s.host).to_string());
     }
     for s in &rtc.scripts {
-        domains.insert(reg(&s.host).to_string());
+        domains.insert(hosts.registrable(&s.host).to_string());
     }
     // Keep only third-party domains (inline/first-party hosts are porn
     // sites themselves).
@@ -213,12 +215,12 @@ pub fn table5(
             let canvas = fp
                 .canvas_scripts
                 .iter()
-                .filter(|s| reg(&s.host) == domain)
+                .filter(|s| hosts.registrable(&s.host) == domain)
                 .count();
             let webrtc = rtc
                 .scripts
                 .iter()
-                .filter(|s| reg(&s.host) == domain)
+                .filter(|s| hosts.registrable(&s.host) == domain)
                 .count();
             Table5Row {
                 presence: porn_extract.sites_with_registrable(&domain),
@@ -226,7 +228,7 @@ pub fn table5(
                 in_regular_web: regular_extract
                     .third_party_fqdns
                     .iter()
-                    .any(|f| reg(f) == domain),
+                    .any(|f| hosts.registrable(f) == domain),
                 canvas_scripts: canvas,
                 webrtc_scripts: webrtc,
                 domain,

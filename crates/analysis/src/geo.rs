@@ -12,7 +12,7 @@ use redlight_net::geoip::Country;
 use serde::{Deserialize, Serialize};
 
 use crate::ats::AtsClassifier;
-use crate::thirdparty;
+use crate::thirdparty::{self, ThirdPartyExtract};
 use crate::ThreatFeed;
 use redlight_crawler::db::CrawlRecord;
 
@@ -43,6 +43,18 @@ pub fn summarize(
     threat: &dyn ThreatFeed,
 ) -> GeoSummary {
     let extract = thirdparty::extract(crawl, false);
+    summarize_extracted(crawl, &extract, classifier, threat)
+}
+
+/// [`summarize`] over an extraction computed elsewhere (the stage pipeline
+/// shares one memoized extraction per crawl across stages). The `extract`
+/// must come from `crawl` with `include_chained = false`.
+pub fn summarize_extracted(
+    crawl: &CrawlRecord,
+    extract: &ThirdPartyExtract,
+    classifier: &AtsClassifier,
+    threat: &dyn ThreatFeed,
+) -> GeoSummary {
     let mut fqdns: BTreeSet<String> = BTreeSet::new();
     for parties in extract.per_site.values() {
         fqdns.extend(parties.third.iter().cloned());

@@ -6,6 +6,7 @@
 //! The paper reports Disconnect alone resolving 142 FQDNs vs 4,477 (74 %)
 //! with certificates.
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 
 use redlight_blocklist::EntityList;
@@ -18,36 +19,24 @@ use redlight_crawler::db::CrawlRecord;
 /// An out-of-band TLS probe: host → certificate digest, when one exists.
 pub type CertProbe<'a> = &'a dyn Fn(&str) -> Option<CertSummary>;
 
-/// How an FQDN was attributed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum AttributionSource {
-    /// Resolved through the Disconnect entity list.
-    Disconnect,
-    /// Resolved through the X.509 subject organization.
-    Certificate,
+/// Best certificate digest observed per FQDN, harvested once from crawl
+/// traffic (plus the out-of-band probe) and shared by every attributor
+/// built over the same crawls — the harvest walks all requests of all
+/// crawls, so recomputing it per stage was the organizations stage's
+/// dominant cost.
+#[derive(Debug, Clone, Default)]
+pub struct CertHarvest {
+    /// FQDN → certificate digest.
+    pub certs: BTreeMap<String, CertSummary>,
 }
 
-/// The attributor.
-pub struct OrgAttributor<'a> {
-    disconnect: &'a EntityList,
-    /// Best certificate digest observed per FQDN — harvested from crawl
-    /// traffic and complemented by an out-of-band TLS probe (researchers can
-    /// always connect to port 443 of an observed FQDN, even when the site
-    /// embedded it over plain HTTP).
-    certs: BTreeMap<String, CertSummary>,
-}
-
-impl<'a> OrgAttributor<'a> {
-    /// Builds the attributor: harvests certificates from the crawls, then
-    /// probes every remaining contacted FQDN with `probe` (out-of-band TLS
-    /// handshake; `None` when the host has no certificate).
-    pub fn new(
-        disconnect: &'a EntityList,
-        crawls: &[&CrawlRecord],
-        probe: Option<CertProbe<'_>>,
-    ) -> Self {
+impl CertHarvest {
+    /// Harvests certificates from the crawls, then probes every remaining
+    /// contacted FQDN with `probe` (out-of-band TLS handshake; `None` when
+    /// the host has no certificate).
+    pub fn collect(crawls: &[&CrawlRecord], probe: Option<CertProbe<'_>>) -> Self {
         let mut certs: BTreeMap<String, CertSummary> = BTreeMap::new();
-        let mut contacted: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let mut contacted: BTreeSet<String> = BTreeSet::new();
         for crawl in crawls {
             for record in crawl.successful() {
                 for req in &record.visit.requests {
@@ -68,7 +57,51 @@ impl<'a> OrgAttributor<'a> {
                 }
             }
         }
-        OrgAttributor { disconnect, certs }
+        CertHarvest { certs }
+    }
+}
+
+/// How an FQDN was attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttributionSource {
+    /// Resolved through the Disconnect entity list.
+    Disconnect,
+    /// Resolved through the X.509 subject organization.
+    Certificate,
+}
+
+/// The attributor.
+pub struct OrgAttributor<'a> {
+    disconnect: &'a EntityList,
+    /// Best certificate digest observed per FQDN — harvested from crawl
+    /// traffic and complemented by an out-of-band TLS probe (researchers can
+    /// always connect to port 443 of an observed FQDN, even when the site
+    /// embedded it over plain HTTP). Owned when built via
+    /// [`OrgAttributor::new`], borrowed when a [`CertHarvest`] is shared.
+    certs: Cow<'a, BTreeMap<String, CertSummary>>,
+}
+
+impl<'a> OrgAttributor<'a> {
+    /// Builds the attributor over a private harvest (see
+    /// [`CertHarvest::collect`]).
+    pub fn new(
+        disconnect: &'a EntityList,
+        crawls: &[&CrawlRecord],
+        probe: Option<CertProbe<'_>>,
+    ) -> Self {
+        OrgAttributor {
+            disconnect,
+            certs: Cow::Owned(CertHarvest::collect(crawls, probe).certs),
+        }
+    }
+
+    /// Builds the attributor over a shared, already-collected harvest
+    /// without copying it.
+    pub fn from_harvest(disconnect: &'a EntityList, harvest: &'a CertHarvest) -> Self {
+        OrgAttributor {
+            disconnect,
+            certs: Cow::Borrowed(&harvest.certs),
+        }
     }
 
     /// Attributes one FQDN to an organization.

@@ -9,6 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use redlight_net::psl::HostCache;
 use serde::{Deserialize, Serialize};
 
 use crate::util::{reg, same_site};
@@ -90,6 +91,35 @@ pub fn detect_with_options(
     top_k: usize,
     options: SyncOptions,
 ) -> SyncReport {
+    detect_inner(crawl, ranked_sites, top_k, options, None)
+}
+
+/// [`detect_with_options`] with eTLD+1 resolutions memoized in `hosts` —
+/// the same cookie and destination domains recur across the crawl, and the
+/// stage pipeline shares `hosts` with every other stage. Identical output.
+pub fn detect_cached(
+    crawl: &CrawlRecord,
+    ranked_sites: &[String],
+    top_k: usize,
+    options: SyncOptions,
+    hosts: &HostCache,
+) -> SyncReport {
+    detect_inner(crawl, ranked_sites, top_k, options, Some(hosts))
+}
+
+fn detect_inner(
+    crawl: &CrawlRecord,
+    ranked_sites: &[String],
+    top_k: usize,
+    options: SyncOptions,
+    hosts: Option<&HostCache>,
+) -> SyncReport {
+    let reg_of = |host: &str| -> String {
+        match hosts {
+            Some(cache) => cache.registrable(host).to_string(),
+            None => reg(host).to_string(),
+        }
+    };
     // Cookie values seen so far in the session, with their owning domain.
     // Values shorter than 8 chars would false-positive against ordinary
     // query values.
@@ -105,7 +135,7 @@ pub fn detect_with_options(
             if !obs.accepted {
                 continue;
             }
-            let owner = reg(&obs.effective_domain).to_string();
+            let owner = reg_of(&obs.effective_domain);
             if obs.cookie.value.chars().count() >= options.min_value_len {
                 value_owner
                     .entry(obs.cookie.value.clone())
@@ -147,7 +177,7 @@ pub fn detect_with_options(
                     let Some(owner) = value_owner.get(candidate) else {
                         continue;
                     };
-                    let dest = reg(dest_host).to_string();
+                    let dest = reg_of(dest_host);
                     if same_site(owner, &dest) {
                         continue; // first-party echo, not a sync
                     }

@@ -6,15 +6,19 @@
 //! FQDNs decides (≥ 0.7 ⇒ same entity). This groups `doublepimp.com` with
 //! `doublepimpssl.com` while separating it from `doubleclick.net`.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use redlight_browser::Initiator;
+use redlight_net::geoip::Country;
+use redlight_net::psl::{CacheStats, HostCache};
 use redlight_net::tls::CertSummary;
 use redlight_text::levenshtein;
 use serde::{Deserialize, Serialize};
 
-use crate::util::{reg, same_site};
-use redlight_crawler::db::CrawlRecord;
+use crate::util::reg;
+use redlight_crawler::db::{CorpusLabel, CrawlRecord};
 
 /// Party classification of one observed FQDN relative to a host site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,7 +38,43 @@ pub fn classify(
     request_host: &str,
     request_cert: Option<&CertSummary>,
 ) -> Party {
-    if same_site(site_host, request_host) {
+    classify_inner(site_host, site_cert, request_host, request_cert, None)
+}
+
+/// [`classify`] with every eTLD+1 resolution answered by a shared
+/// [`HostCache`]. Identical verdicts; the cache only memoizes the pure
+/// suffix walk.
+pub fn classify_cached(
+    site_host: &str,
+    site_cert: Option<&CertSummary>,
+    request_host: &str,
+    request_cert: Option<&CertSummary>,
+    hosts: &HostCache,
+) -> Party {
+    classify_inner(
+        site_host,
+        site_cert,
+        request_host,
+        request_cert,
+        Some(hosts),
+    )
+}
+
+fn classify_inner(
+    site_host: &str,
+    site_cert: Option<&CertSummary>,
+    request_host: &str,
+    request_cert: Option<&CertSummary>,
+    hosts: Option<&HostCache>,
+) -> Party {
+    let (site_reg, request_reg) = match hosts {
+        Some(cache) => (
+            cache.registrable(site_host),
+            cache.registrable(request_host),
+        ),
+        None => (reg(site_host), reg(request_host)),
+    };
+    if site_reg == request_reg {
         return Party::First;
     }
     if let (Some(a), Some(b)) = (site_cert, request_cert) {
@@ -42,7 +82,7 @@ pub fn classify(
             return Party::First;
         }
     }
-    if levenshtein::same_entity(reg(site_host), reg(request_host)) {
+    if levenshtein::same_entity(site_reg, request_reg) {
         return Party::First;
     }
     Party::Third
@@ -92,6 +132,24 @@ impl ThirdPartyExtract {
 /// embedded frames (RTB inclusion chains); Table 7 excludes them, the main
 /// §4.2 analysis includes them.
 pub fn extract(crawl: &CrawlRecord, include_chained: bool) -> ThirdPartyExtract {
+    extract_inner(crawl, include_chained, None)
+}
+
+/// [`extract`] with eTLD+1 resolutions memoized in `hosts`. Identical
+/// output.
+pub fn extract_cached(
+    crawl: &CrawlRecord,
+    include_chained: bool,
+    hosts: &HostCache,
+) -> ThirdPartyExtract {
+    extract_inner(crawl, include_chained, Some(hosts))
+}
+
+fn extract_inner(
+    crawl: &CrawlRecord,
+    include_chained: bool,
+    hosts: Option<&HostCache>,
+) -> ThirdPartyExtract {
     let mut out = ThirdPartyExtract::default();
     for record in crawl.successful() {
         let visit = &record.visit;
@@ -121,7 +179,13 @@ pub fn extract(crawl: &CrawlRecord, include_chained: bool) -> ThirdPartyExtract 
             if host == site_host {
                 continue;
             }
-            match classify(site_host, site_cert.as_ref(), host, req.cert.as_ref()) {
+            match classify_inner(
+                site_host,
+                site_cert.as_ref(),
+                host,
+                req.cert.as_ref(),
+                hosts,
+            ) {
                 Party::First => {
                     parties.first.insert(host.to_string());
                     out.first_party_fqdns.insert(host.to_string());
@@ -134,6 +198,59 @@ pub fn extract(crawl: &CrawlRecord, include_chained: bool) -> ThirdPartyExtract 
         }
     }
     out
+}
+
+/// Identity of one extraction: which crawl, and whether frame-chained
+/// requests were kept.
+type ExtractKey = (Country, CorpusLabel, bool);
+
+/// A pipeline-wide memo of third-party extractions.
+///
+/// Several stages (ats, orgs, sync, geo, monetization) start from "the
+/// third parties of crawl X" — before this memo each re-ran [`extract`]
+/// over the same records. The memo computes each `(country, corpus,
+/// include_chained)` extraction once and hands out `Arc` clones. Concurrent
+/// stages may race on a cold key; extraction is deterministic, so both
+/// compute the same value and the duplicated work is bounded by one
+/// extraction (both count as misses).
+pub struct ExtractMemo {
+    hosts: Arc<HostCache>,
+    map: RwLock<HashMap<ExtractKey, Arc<ThirdPartyExtract>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ExtractMemo {
+    /// Empty memo resolving hosts through `hosts`.
+    pub fn new(hosts: Arc<HostCache>) -> Self {
+        ExtractMemo {
+            hosts,
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The extraction for `crawl`, computed at most once per key.
+    pub fn get(&self, crawl: &CrawlRecord, include_chained: bool) -> Arc<ThirdPartyExtract> {
+        let key: ExtractKey = (crawl.country, crawl.corpus, include_chained);
+        if let Some(found) = self.map.read().expect("extract memo lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let extract = Arc::new(extract_cached(crawl, include_chained, &self.hosts));
+        let mut map = self.map.write().expect("extract memo lock");
+        Arc::clone(map.entry(key).or_insert(extract))
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,6 @@ use serde::{Deserialize, Serialize};
 
 use crate::ats::AtsClassifier;
 use crate::fingerprint::ScriptId;
-use crate::util::{reg, same_site};
 use redlight_crawler::db::CrawlRecord;
 
 /// Aggregated WebRTC findings.
@@ -58,8 +57,9 @@ pub fn detect(crawl: &CrawlRecord, classifier: &AtsClassifier) -> WebRtcReport {
                     path: "<inline>".to_string(),
                 },
             };
-            if !same_site(&id.host, page_host) {
-                services.insert(reg(&id.host).to_string());
+            let hosts = classifier.hosts();
+            if !hosts.same_site(&id.host, page_host) {
+                services.insert(hosts.registrable(&id.host).to_string());
             }
             scripts.insert(id);
         }

@@ -99,6 +99,7 @@ fn run_stages(config: &StudyConfig, requested: &[String], timings: bool) {
         let report = StageReport {
             crawls: crawl_timings,
             stages: stage_timings,
+            caches: ctx.cache_counters(),
         };
         println!("\n{}", report.render());
     }

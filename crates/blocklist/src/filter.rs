@@ -49,6 +49,24 @@ impl<'a> RequestContext<'a> {
             kind,
         }
     }
+
+    /// Like [`RequestContext::new`], but resolves both registrable domains
+    /// through a shared [`psl::HostCache`] — the hot-path constructor used
+    /// by the ATS classifier, which builds one context per classified
+    /// request.
+    pub fn with_hosts(
+        page_host: &'a str,
+        request_host: &'a str,
+        kind: ResourceKind,
+        hosts: &psl::HostCache,
+    ) -> Self {
+        RequestContext {
+            page_host,
+            request_host,
+            third_party: !hosts.same_site(page_host, request_host),
+            kind,
+        }
+    }
 }
 
 /// Option constraints attached to a rule.
@@ -422,6 +440,54 @@ mod tests {
         assert!(f.matches("https://x.com/track.js", &ctx("www.porn.site", "x.com")));
         assert!(!f.matches("https://x.com/track.js", &ctx("sub.porn.site", "x.com")));
         assert!(!f.matches("https://x.com/track.js", &ctx("other.site", "x.com")));
+    }
+
+    #[test]
+    fn domain_option_parses_allow_and_deny_lists() {
+        let f = Filter::parse("/t.js$domain=A.com|~b.com|c.org|~D.net").unwrap();
+        assert_eq!(f.options.domains, vec!["a.com", "c.org"]);
+        assert_eq!(f.options.not_domains, vec!["b.com", "d.net"]);
+        // Denied pages lose even when listed nowhere else.
+        assert!(f.matches("https://x.com/t.js", &ctx("a.com", "x.com")));
+        assert!(f.matches("https://x.com/t.js", &ctx("c.org", "x.com")));
+        assert!(!f.matches("https://x.com/t.js", &ctx("b.com", "x.com")));
+        assert!(!f.matches("https://x.com/t.js", &ctx("sub.d.net", "x.com")));
+        assert!(!f.matches("https://x.com/t.js", &ctx("unlisted.com", "x.com")));
+    }
+
+    #[test]
+    fn domain_option_with_only_negations_allows_everywhere_else() {
+        let f = Filter::parse("/t.js$domain=~b.com").unwrap();
+        assert!(f.options.domains.is_empty());
+        assert_eq!(f.options.not_domains, vec!["b.com"]);
+        assert!(f.matches("https://x.com/t.js", &ctx("anything.com", "x.com")));
+        assert!(!f.matches("https://x.com/t.js", &ctx("b.com", "x.com")));
+        assert!(!f.matches("https://x.com/t.js", &ctx("www.b.com", "x.com")));
+    }
+
+    #[test]
+    fn domain_option_combines_with_other_options() {
+        let f = Filter::parse("||ads.com^$third-party,domain=porn.site").unwrap();
+        assert_eq!(f.options.domains, vec!["porn.site"]);
+        assert_eq!(f.options.third_party, Some(true));
+        assert!(f.matches("https://ads.com/t.js", &ctx("porn.site", "ads.com")));
+        // Wrong page domain, even though third-party holds.
+        assert!(!f.matches("https://ads.com/t.js", &ctx("other.site", "ads.com")));
+    }
+
+    #[test]
+    fn with_hosts_agrees_with_new() {
+        let cache = psl::HostCache::new();
+        for (page, req) in [
+            ("porn.site", "main.exoclick.com"),
+            ("www.exosrv.com", "sync.exosrv.com"),
+            ("a.com", "a.com"),
+        ] {
+            let plain = RequestContext::new(page, req, ResourceKind::Script);
+            let cached = RequestContext::with_hosts(page, req, ResourceKind::Script, &cache);
+            assert_eq!(plain.third_party, cached.third_party, "{page} -> {req}");
+        }
+        assert!(cache.stats().misses > 0);
     }
 
     #[test]

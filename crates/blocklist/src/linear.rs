@@ -1,0 +1,129 @@
+//! The pre-index linear matcher, retained as a reference implementation.
+//!
+//! [`LinearFilterSet`] is the matcher as it existed before the token index:
+//! domain-anchored rules bucketed by registrable domain, every generic rule
+//! scanned per URL, every exception scanned once a blocking rule matches,
+//! and the allocating `format!`-based relaxed-FQDN check. It exists for two
+//! consumers:
+//!
+//! * the equivalence property test, which asserts the indexed
+//!   [`crate::FilterSet`] returns verdict-for-verdict identical
+//!   [`MatchResult`]s;
+//! * the `ats_match` benchmark, where it is the "before" baseline the token
+//!   index is measured against.
+//!
+//! Keep this implementation boring and unoptimized — its value is being an
+//! obviously-correct oracle.
+
+use std::collections::HashMap;
+
+use redlight_net::psl;
+
+use crate::filter::{Filter, RequestContext};
+use crate::matcher::MatchResult;
+
+/// The reference filter set: correct, linear, slow.
+#[derive(Debug, Clone, Default)]
+pub struct LinearFilterSet {
+    /// Domain-anchored rules, indexed by the anchor's registrable domain.
+    by_domain: HashMap<String, Vec<Filter>>,
+    /// Rules without a domain anchor (substring / start-anchored).
+    generic: Vec<Filter>,
+    /// Exception rules (`@@`), all kept together and always scanned.
+    exceptions: Vec<Filter>,
+    /// Number of rule lines parsed.
+    rule_count: usize,
+}
+
+impl LinearFilterSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses a list text and merges its rules (comments, metadata and
+    /// element-hiding rules are skipped). Returns how many rules were added.
+    pub fn add_list(&mut self, text: &str) -> usize {
+        let mut added = 0;
+        for line in text.lines() {
+            if let Ok(f) = Filter::parse(line) {
+                self.add_filter(f);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Adds one parsed filter.
+    pub fn add_filter(&mut self, filter: Filter) {
+        self.rule_count += 1;
+        if filter.exception {
+            self.exceptions.push(filter);
+            return;
+        }
+        match &filter.anchor_domain {
+            Some(anchor) => {
+                let key = psl::registrable_domain(anchor).to_string();
+                self.by_domain.entry(key).or_default().push(filter);
+            }
+            None => self.generic.push(filter),
+        }
+    }
+
+    /// Total number of rules (blocking + exceptions).
+    pub fn len(&self) -> usize {
+        self.rule_count
+    }
+
+    /// `true` when no rules are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.rule_count == 0
+    }
+
+    /// Matches a full URL in context, applying exception rules.
+    pub fn matches(&self, url: &str, ctx: &RequestContext<'_>) -> MatchResult {
+        let blocked = self.first_blocking_match(url, ctx);
+        match blocked {
+            None => MatchResult::Clean,
+            Some(rule) => {
+                for exc in &self.exceptions {
+                    if exc.matches(url, ctx) {
+                        return MatchResult::Excepted(exc.raw.clone());
+                    }
+                }
+                MatchResult::Blocked(rule.raw.clone())
+            }
+        }
+    }
+
+    fn first_blocking_match(&self, url: &str, ctx: &RequestContext<'_>) -> Option<&Filter> {
+        let key = psl::registrable_domain(ctx.request_host);
+        if let Some(rules) = self.by_domain.get(key) {
+            if let Some(f) = rules.iter().find(|f| f.matches(url, ctx)) {
+                return Some(f);
+            }
+        }
+        self.generic.iter().find(|f| f.matches(url, ctx))
+    }
+
+    /// Relaxed FQDN matching, including the original per-candidate-rule
+    /// `format!` allocations (part of the measured baseline).
+    pub fn matches_fqdn_relaxed(&self, fqdn: &str) -> bool {
+        let fqdn = fqdn.to_ascii_lowercase();
+        let key = psl::registrable_domain(&fqdn);
+        self.by_domain.get(key).is_some_and(|rules| {
+            rules.iter().any(|f| {
+                f.anchor_domain.as_deref().is_some_and(|anchor| {
+                    let domain_wide = f.pattern.is_empty() || f.pattern == "^";
+                    if domain_wide {
+                        fqdn == anchor
+                            || fqdn.ends_with(&format!(".{anchor}"))
+                            || anchor.ends_with(&format!(".{fqdn}"))
+                    } else {
+                        fqdn == anchor
+                    }
+                })
+            })
+        })
+    }
+}

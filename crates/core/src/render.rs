@@ -567,13 +567,37 @@ impl crate::results::StageReport {
         }
         let stage_total: std::time::Duration = self.stages.iter().map(|s| s.wall).sum();
 
-        format!(
+        let mut out = format!(
             "{}total crawl wall time: {} ms\n\n{}total stage wall time: {} ms\n",
             crawls.render(),
             ms(crawl_total),
             stages.render(),
             ms(stage_total),
-        )
+        );
+
+        if !self.caches.is_empty() {
+            let mut caches = Table::new(
+                "Shared caches — hit/miss counters",
+                &["cache", "hits", "misses", "hit rate"],
+            );
+            for c in &self.caches {
+                let total = c.hits + c.misses;
+                let rate = if total == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}%", c.hits as f64 * 100.0 / total as f64)
+                };
+                caches.row(&[
+                    c.name.to_string(),
+                    fmt_count(c.hits as usize),
+                    fmt_count(c.misses as usize),
+                    rate,
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&caches.render());
+        }
+        out
     }
 }
 

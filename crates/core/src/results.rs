@@ -34,9 +34,20 @@ pub struct StageTiming {
     pub output_records: usize,
 }
 
+/// Final hit/miss counters of one shared analysis cache.
+#[derive(Debug, Clone)]
+pub struct CacheCounter {
+    /// Cache name (e.g. `etld1-hosts`, `ats-url-verdicts`).
+    pub name: &'static str,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that computed (and populated) an entry.
+    pub misses: u64,
+}
+
 /// Instrumentation for one pipeline run: every crawl's wall time plus every
-/// analysis stage's wall time and record counts. Carried by
-/// [`StudyResults`] and rendered by
+/// analysis stage's wall time and record counts, and the shared caches'
+/// final hit/miss counters. Carried by [`StudyResults`] and rendered by
 /// [`render_timings`](StudyResults::render_timings).
 #[derive(Debug, Clone, Default)]
 pub struct StageReport {
@@ -44,6 +55,9 @@ pub struct StageReport {
     pub crawls: Vec<CrawlTiming>,
     /// Analysis-layer timings, one per stage that ran.
     pub stages: Vec<StageTiming>,
+    /// Shared-cache counters at the end of the run (empty when the caches
+    /// were never exercised, e.g. a collection-only run).
+    pub caches: Vec<CacheCounter>,
 }
 
 /// Corpus-compilation outcome (stringified from the crawler report).

@@ -18,6 +18,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Instant;
 
 use redlight_analysis::agegate::AgeGateComparison;
@@ -29,25 +30,26 @@ use redlight_analysis::geo::{GeoMalware, Table7};
 use redlight_analysis::https::HttpsReport;
 use redlight_analysis::malware::MalwareReport;
 use redlight_analysis::monetization::MonetizationReport;
-use redlight_analysis::orgs::{AttributionStats, OrgPrevalence};
+use redlight_analysis::orgs::{AttributionStats, CertHarvest, OrgPrevalence};
 use redlight_analysis::owners::OwnershipReport;
 use redlight_analysis::policies::{PolicyDoc, PolicyReport};
 use redlight_analysis::popularity::{Fig1, Table3};
-use redlight_analysis::sync::SyncReport;
-use redlight_analysis::thirdparty::ThirdPartyExtract;
+use redlight_analysis::sync::{SyncOptions, SyncReport};
+use redlight_analysis::thirdparty::{ExtractMemo, ThirdPartyExtract};
 use redlight_analysis::webrtc::WebRtcReport;
 use redlight_analysis::{
     agegate, ats, consent, cookies, fingerprint, geo, https, malware, monetization, orgs, owners,
-    policies, popularity, sync, thirdparty, webrtc,
+    policies, popularity, sync, webrtc,
 };
 use redlight_crawler::corpus::{CorpusCompiler, CorpusReport};
 use redlight_crawler::db::{CorpusLabel, CrawlRecord, InteractionRecord, MeasurementDb};
 use redlight_net::geoip::Country;
+use redlight_net::psl::HostCache;
 use redlight_rankings::{PopularityTier, RankHistory};
 use redlight_websim::oracle::InspectionOracle;
 use redlight_websim::World;
 
-use crate::results::{CorpusSummary, StageReport, StageTiming, StudyResults};
+use crate::results::{CacheCounter, CorpusSummary, StageReport, StageTiming, StudyResults};
 use crate::study::StudyConfig;
 use crate::WorldThreatFeed;
 
@@ -197,16 +199,26 @@ pub struct AnalysisContext<'a> {
     pub ranked: Vec<String>,
     /// The top-N most popular porn sites (§7.2 subset).
     pub top: Vec<String>,
-    /// EasyList + EasyPrivacy classifier.
+    /// EasyList + EasyPrivacy classifier (memoized; shares [`Self::hosts`]).
     pub classifier: AtsClassifier,
+    /// Pipeline-wide host → eTLD+1 memo, shared by the classifier, the
+    /// extraction memo and every stage that resolves registrable domains.
+    pub hosts: Arc<HostCache>,
+    /// Memo of third-party extractions keyed by `(country, corpus,
+    /// include_chained)` — stages needing "the third parties of crawl X"
+    /// fetch from here instead of re-extracting.
+    pub extracts: ExtractMemo,
+    /// Certificates harvested once from the main crawls (plus the
+    /// out-of-band TLS probe), shared by the organizations stage.
+    pub cert_harvest: CertHarvest,
     /// The main Spanish porn crawl.
     pub porn_es: &'a CrawlRecord,
     /// The Spanish regular-corpus reference crawl.
     pub regular_es: &'a CrawlRecord,
     /// Third-party extraction of the Spanish porn crawl.
-    pub porn_extract: ThirdPartyExtract,
+    pub porn_extract: Arc<ThirdPartyExtract>,
     /// Third-party extraction of the regular reference crawl.
-    pub regular_extract: ThirdPartyExtract,
+    pub regular_extract: Arc<ThirdPartyExtract>,
     /// All cookie rows of the Spanish porn crawl.
     pub cookie_rows: Vec<CookieRow>,
     /// The Spanish interaction crawl (full corpus).
@@ -233,9 +245,19 @@ impl<'a> AnalysisContext<'a> {
         let regular_es = db
             .crawl(Country::Spain, CorpusLabel::Regular)
             .expect("Spanish regular crawl recorded");
-        let classifier = ats::AtsClassifier::from_lists(&world.easylist, &world.easyprivacy);
-        let porn_extract = thirdparty::extract(porn_es, true);
-        let regular_extract = thirdparty::extract(regular_es, true);
+        let hosts = Arc::new(HostCache::new());
+        let classifier =
+            ats::AtsClassifier::with_hosts(&world.easylist, &world.easyprivacy, Arc::clone(&hosts));
+        let extracts = ExtractMemo::new(Arc::clone(&hosts));
+        let porn_extract = extracts.get(porn_es, true);
+        let regular_extract = extracts.get(regular_es, true);
+        // Out-of-band TLS probe: connect to port 443 of any contacted FQDN
+        // and read its certificate (what the paper's §4.2(3) pipeline did).
+        let probe = |host: &str| -> Option<redlight_net::tls::CertSummary> {
+            world.resolve_host(host)?;
+            Some((&world.cert_for_host(host)).into())
+        };
+        let cert_harvest = CertHarvest::collect(&[porn_es, regular_es], Some(&probe));
         let cookie_rows = cookies::collect(porn_es);
         let interactions_es: Vec<InteractionRecord> =
             db.interactions_in(Country::Spain).cloned().collect();
@@ -253,6 +275,9 @@ impl<'a> AnalysisContext<'a> {
             ranked,
             top,
             classifier,
+            hosts,
+            extracts,
+            cert_harvest,
             porn_es,
             regular_es,
             porn_extract,
@@ -261,6 +286,37 @@ impl<'a> AnalysisContext<'a> {
             interactions_es,
             client_ip,
         }
+    }
+
+    /// Snapshot of every shared cache's hit/miss counters, in render order.
+    /// Surfaced through [`StageReport`] and `reproduce --timings`, never
+    /// through the deterministic summary.
+    pub fn cache_counters(&self) -> Vec<CacheCounter> {
+        let host_stats = self.hosts.stats();
+        let (url, fqdn) = self.classifier.cache_stats();
+        let extract_stats = self.extracts.stats();
+        vec![
+            CacheCounter {
+                name: "etld1-hosts",
+                hits: host_stats.hits,
+                misses: host_stats.misses,
+            },
+            CacheCounter {
+                name: "ats-url-verdicts",
+                hits: url.hits,
+                misses: url.misses,
+            },
+            CacheCounter {
+                name: "ats-fqdn-verdicts",
+                hits: fqdn.hits,
+                misses: fqdn.misses,
+            },
+            CacheCounter {
+                name: "thirdparty-extracts",
+                hits: extract_stats.hits,
+                misses: extract_stats.misses,
+            },
+        ]
     }
 }
 
@@ -722,18 +778,9 @@ fn stage_organizations(
     usize,
     usize,
 ) {
-    // Out-of-band TLS probe: connect to port 443 of any contacted FQDN
-    // and read its certificate (what the paper's §4.2(3) pipeline did).
-    let world = ctx.world;
-    let probe = |host: &str| -> Option<redlight_net::tls::CertSummary> {
-        world.resolve_host(host)?;
-        Some((&world.cert_for_host(host)).into())
-    };
-    let attributor = orgs::OrgAttributor::new(
-        &world.disconnect,
-        &[ctx.porn_es, ctx.regular_es],
-        Some(&probe),
-    );
+    // The cert harvest (crawl traffic + out-of-band TLS probe) is collected
+    // once in `AnalysisContext::build` and borrowed here.
+    let attributor = orgs::OrgAttributor::from_harvest(&ctx.world.disconnect, &ctx.cert_harvest);
     let attribution = attributor.coverage(&ctx.porn_extract);
     let fig3_porn = attributor.prevalence(&ctx.porn_extract, ctx.porn_es.success_count());
     let fig3_regular = attributor.prevalence(&ctx.regular_extract, ctx.regular_es.success_count());
@@ -757,7 +804,13 @@ fn stage_cookies(ctx: &AnalysisContext<'_>) -> ((CookieStats, Vec<Table4Row>), u
 }
 
 fn stage_cookie_sync(ctx: &AnalysisContext<'_>) -> (SyncReport, usize, usize) {
-    let report = sync::detect(ctx.porn_es, &ctx.ranked, 100.min(ctx.ranked.len()));
+    let report = sync::detect_cached(
+        ctx.porn_es,
+        &ctx.ranked,
+        100.min(ctx.ranked.len()),
+        SyncOptions::default(),
+        &ctx.hosts,
+    );
     let produced = report.pairs.len();
     (report, ctx.porn_es.success_count(), produced)
 }
@@ -818,7 +871,8 @@ fn stage_geo(
                 .crawl(country, CorpusLabel::Porn)
                 .expect("per-country porn crawl recorded");
             input += crawl.visits.len();
-            geo::summarize(crawl, &ctx.classifier, &threat)
+            let extract = ctx.extracts.get(crawl, false);
+            geo::summarize_extracted(crawl, &extract, &ctx.classifier, &threat)
         })
         .collect();
     let table7 = geo::table7(&summaries, &ctx.regular_extract.third_party_fqdns);
@@ -950,7 +1004,7 @@ fn stage_disclosure(
             .map(|p| {
                 p.third
                     .iter()
-                    .map(|f| redlight_net::psl::registrable_domain(f).to_string())
+                    .map(|f| ctx.hosts.registrable(f).to_string())
                     .collect()
             })
             .unwrap_or_default();

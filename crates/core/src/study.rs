@@ -174,11 +174,13 @@ impl Study {
 
         // Layer 3: assemble results with the instrumentation report.
         let best_ranks = ctx.best_ranks.clone();
+        let caches = ctx.cache_counters();
         outputs.into_results(
             best_ranks,
             StageReport {
                 crawls: crawl_timings,
                 stages: stage_timings,
+                caches,
             },
         )
     }

@@ -6,6 +6,15 @@
 //! needed for the synthetic ecosystem; this embedded list covers every suffix
 //! the simulator generates plus the common multi-label suffixes that make the
 //! algorithm non-trivial (`co.uk`, `com.ru`, `xxx`, …).
+//!
+//! Because the analysis stages resolve the same hosts millions of times, the
+//! module also provides [`HostCache`] — a thread-safe host → eTLD+1 memo
+//! with hit/miss counters that the stage pipeline surfaces through
+//! `reproduce --timings`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Multi-label public suffixes known to the embedded list, each expressed as
 /// the suffix string *without* a leading dot.
@@ -37,34 +46,59 @@ pub fn is_public_suffix(domain: &str) -> bool {
 ///
 /// Falls back to the wildcard rule — last label is the public suffix — for
 /// TLDs not in the embedded list, which matches how the Mozilla PSL treats
-/// unknown TLDs.
+/// unknown TLDs. Malformed hosts with empty labels (leading, trailing or
+/// doubled dots) are handled defensively: surrounding dots are trimmed and
+/// empty labels never count toward the suffix, so `"example.com."` resolves
+/// to `"example.com"` and `".com"` to `"com"` instead of mis-sliced text.
 ///
 /// ```
 /// assert_eq!(redlight_net::psl::registrable_domain("a.b.example.co.uk"), "example.co.uk");
 /// assert_eq!(redlight_net::psl::registrable_domain("stats.g.doubleclick.net"), "doubleclick.net");
 /// assert_eq!(redlight_net::psl::registrable_domain("xvideos.com"), "xvideos.com");
+/// assert_eq!(redlight_net::psl::registrable_domain("example.com."), "example.com");
 /// ```
 pub fn registrable_domain(host: &str) -> &str {
-    let labels: Vec<&str> = host.split('.').collect();
-    if labels.len() <= 1 {
-        return host;
+    let trimmed = host.trim_matches('.');
+    if trimmed.is_empty() {
+        // "." / ".." / "": nothing but separators. The empty subslice keeps
+        // the result borrowed from `host` (callers may cache byte offsets).
+        return trimmed;
     }
-    // Try the longest matching public suffix first (2 labels, then 1).
-    if labels.len() >= 2 {
-        let two = &host
-            [host.len() - labels[labels.len() - 2].len() - 1 - labels[labels.len() - 1].len()..];
-        if MULTI_LABEL_SUFFIXES.contains(&two) {
-            if labels.len() == 2 {
-                // The host *is* a suffix (e.g. "co.uk").
-                return host;
+    // Byte offsets of the last three *non-empty* label starts, most recent
+    // first. Walking with `rfind` avoids the per-call `Vec<&str>` the old
+    // implementation allocated.
+    let mut starts = [0usize; 3];
+    let mut found = 0usize;
+    let mut end = trimmed.len();
+    loop {
+        let start = match trimmed[..end].rfind('.') {
+            Some(dot) => dot + 1,
+            None => 0,
+        };
+        if start < end {
+            starts[found] = start;
+            found += 1;
+            if found == 3 {
+                break;
             }
-            let start = host.len() - labels[labels.len() - 3].len() - 1 - two.len();
-            return &host[start..];
         }
+        if start == 0 {
+            break;
+        }
+        end = start - 1;
     }
-    // Single-label suffix: registrable = last two labels.
-    let start = host.len() - labels[labels.len() - 2].len() - 1 - labels[labels.len() - 1].len();
-    &host[start..]
+    if found == 1 {
+        return trimmed; // single label: the host is (treated as) a suffix
+    }
+    let last_two = &trimmed[starts[1]..];
+    if MULTI_LABEL_SUFFIXES.contains(&last_two) {
+        if found == 2 {
+            return trimmed; // the host *is* a suffix (e.g. "co.uk")
+        }
+        return &trimmed[starts[2]..];
+    }
+    // Wildcard rule: last label is the suffix, registrable = last two labels.
+    last_two
 }
 
 /// Whether the last label of `host` is a TLD the embedded list knows about.
@@ -73,6 +107,78 @@ pub fn has_known_tld(host: &str) -> bool {
     host.rsplit('.')
         .next()
         .is_some_and(|tld| KNOWN_TLDS.contains(&tld))
+}
+
+/// A snapshot of one memo's hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then populate) an entry.
+    pub misses: u64,
+}
+
+/// A thread-safe host → registrable-domain memo.
+///
+/// [`registrable_domain`] is pure but runs a suffix walk per call; the
+/// analysis stages resolve the same few thousand hosts over and over, so one
+/// shared `HostCache` per pipeline run turns almost every resolution into a
+/// hash lookup. The cache stores `(start, end)` byte offsets of the eTLD+1
+/// slice — valid because the result is always a subslice of the queried
+/// host — which lets [`HostCache::registrable`] hand back a borrow of the
+/// *caller's* string without allocating.
+#[derive(Debug, Default)]
+pub struct HostCache {
+    offsets: RwLock<HashMap<String, (u32, u32)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl HostCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached [`registrable_domain`]: identical result, amortized O(1).
+    pub fn registrable<'a>(&self, host: &'a str) -> &'a str {
+        if let Some(&(start, end)) = self.offsets.read().expect("host cache lock").get(host) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return &host[start as usize..end as usize];
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let rd = registrable_domain(host);
+        let start = rd.as_ptr() as usize - host.as_ptr() as usize;
+        let end = start + rd.len();
+        self.offsets
+            .write()
+            .expect("host cache lock")
+            .insert(host.to_string(), (start as u32, end as u32));
+        rd
+    }
+
+    /// `true` when both hosts share a registrable domain (cached).
+    pub fn same_site(&self, a: &str, b: &str) -> bool {
+        self.registrable(a) == self.registrable(b)
+    }
+
+    /// Number of distinct hosts interned so far.
+    pub fn len(&self) -> usize {
+        self.offsets.read().expect("host cache lock").len()
+    }
+
+    /// `true` when no host has been resolved yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -111,11 +217,53 @@ mod tests {
     }
 
     #[test]
+    fn empty_labels_are_handled() {
+        // Trailing dot (FQDN root form): trimmed, not mis-sliced to "com.".
+        assert_eq!(registrable_domain("example.com."), "example.com");
+        assert_eq!(registrable_domain("www.example.com."), "example.com");
+        // Leading dot: trimmed, not returned verbatim.
+        assert_eq!(registrable_domain(".com"), "com");
+        assert_eq!(registrable_domain(".example.com"), "example.com");
+        // Doubled interior dot: the empty label never counts as a label, so
+        // the multi-label walk still lands on a non-empty start.
+        assert_eq!(registrable_domain("a..b"), "a..b");
+        assert_eq!(registrable_domain("x.a..b"), "a..b");
+        // Nothing but separators.
+        assert_eq!(registrable_domain("."), "");
+        assert_eq!(registrable_domain(".."), "");
+        assert_eq!(registrable_domain(""), "");
+    }
+
+    #[test]
     fn suffix_predicates() {
         assert!(is_public_suffix("com"));
         assert!(is_public_suffix("co.uk"));
         assert!(!is_public_suffix("example.com"));
         assert!(has_known_tld("x.party"));
         assert!(!has_known_tld("x.weirdtld"));
+    }
+
+    #[test]
+    fn host_cache_agrees_and_counts() {
+        let cache = HostCache::new();
+        assert!(cache.is_empty());
+        for host in [
+            "www.pornhub.com",
+            "a.b.example.co.uk",
+            "example.com.",
+            ".com",
+            "co.uk",
+            "tracker.weirdtld",
+        ] {
+            assert_eq!(cache.registrable(host), registrable_domain(host));
+            // Second resolution hits the memo and returns the same slice.
+            assert_eq!(cache.registrable(host), registrable_domain(host));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 6);
+        assert_eq!(stats.hits, 6);
+        assert_eq!(cache.len(), 6);
+        assert!(cache.same_site("www.pornhub.com", "cdn.pornhub.com"));
+        assert!(!cache.same_site("pornhub.com", "exoclick.com"));
     }
 }

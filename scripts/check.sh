@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> matcher equivalence (tokenized vs linear reference)"
+cargo test -q -p redlight-blocklist --test matcher_equivalence
+
+echo "==> ats_match bench smoke (--test mode, 1 iteration per bench)"
+cargo bench -p redlight-bench --bench ats_match -- --test
+
 echo "OK"

@@ -50,17 +50,28 @@ impl Criterion {
     }
 
     /// Runs one named benchmark.
+    ///
+    /// When the process was invoked with a `--test` argument (as in
+    /// `cargo bench -- --test`), the routine runs exactly once as a smoke
+    /// check and no timing is reported — mirroring real criterion's test
+    /// mode so CI can exercise bench targets cheaply.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
     where
         F: FnMut(&mut Bencher),
     {
+        let test_mode = std::env::args().any(|a| a == "--test");
         let mut bencher = Bencher {
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
             warm_up_time: self.warm_up_time,
+            test_mode,
             report: None,
         };
         f(&mut bencher);
+        if test_mode {
+            println!("{id}: test mode, 1 iteration, ok");
+            return self;
+        }
         match bencher.report {
             Some(r) => println!(
                 "{id}: mean {} / best {} per iter ({} iters x {} samples)",
@@ -86,13 +97,18 @@ pub struct Bencher {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    test_mode: bool,
     report: Option<Report>,
 }
 
 impl Bencher {
     /// Measures `routine`, running it enough times to fill the configured
-    /// measurement budget.
+    /// measurement budget. In `--test` mode it runs exactly once, unmeasured.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
         // Warm-up, which also estimates the per-iteration cost.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
