@@ -6,17 +6,23 @@
 //! cargo run --release -p redlight-bench --bin reproduce -- --seed 7
 //! cargo run --release -p redlight-bench --bin reproduce -- --timings
 //! cargo run --release -p redlight-bench --bin reproduce -- --stage cookies --stage https
+//! cargo run --release -p redlight-bench --bin reproduce -- --net-profile flaky --fault-seed 7
 //! ```
 //!
 //! Prints the rendered tables/figures followed by the paper-vs-measured
 //! comparison table that EXPERIMENTS.md records. `--timings` appends the
 //! pipeline instrumentation (per-crawl and per-stage wall times with record
-//! counts). `--stage <name>` (repeatable) runs only the named analysis
-//! stages — dependencies are pulled in automatically — and prints their
-//! one-line summaries plus timings instead of the full report.
+//! counts, plus transport counters when the network profile meters).
+//! `--stage <name>` (repeatable) runs only the named analysis stages —
+//! dependencies are pulled in automatically — and prints their one-line
+//! summaries plus timings instead of the full report. `--net-profile <name>`
+//! selects the network the crawls run over (`default`, `direct`, `flaky`,
+//! `lossy`); `--fault-seed <n>` re-seeds the profile's fault injector so a
+//! fixed seed replays the exact same network weather.
 
 use redlight_core::results::StageReport;
 use redlight_core::{stages, Study, StudyConfig, StudyResults};
+use redlight_net::transport::NetProfile;
 use redlight_report::paper::{self, Comparison};
 use redlight_websim::World;
 
@@ -36,12 +42,36 @@ fn main() {
         .filter(|(_, a)| *a == "--stage")
         .filter_map(|(i, _)| args.get(i + 1).cloned())
         .collect();
+    let net_profile = args
+        .iter()
+        .position(|a| a == "--net-profile")
+        .and_then(|i| args.get(i + 1));
+    let fault_seed: Option<u64> = args
+        .iter()
+        .position(|a| a == "--fault-seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
 
-    let config = if paper_scale {
+    let mut config = if paper_scale {
         StudyConfig::paper_scale(seed)
     } else {
         StudyConfig::small(seed)
     };
+    if let Some(name) = net_profile {
+        config.net = match NetProfile::named(name) {
+            Some(profile) => profile,
+            None => {
+                eprintln!(
+                    "unknown net profile {name:?}; known profiles: {}",
+                    NetProfile::NAMES.join(", ")
+                );
+                std::process::exit(2);
+            }
+        };
+    }
+    if let Some(fault_seed) = fault_seed {
+        config.net = config.net.with_fault_seed(fault_seed);
+    }
     let scale = if paper_scale { 1.0 } else { 20.0 };
 
     eprintln!(

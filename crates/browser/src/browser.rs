@@ -4,8 +4,9 @@
 use redlight_html::{parser, query};
 use redlight_net::http::{Method, Request, ResourceKind, Response, Scheme};
 use redlight_net::jar::CookieJar;
+use redlight_net::transport::{BrowserKind, ClientContext, FetchOutcome, Transport};
 use redlight_net::url::Url;
-use redlight_websim::server::{BrowserKind, ClientContext, FetchOutcome, WebServer};
+use redlight_websim::server::WebServer;
 use redlight_websim::World;
 
 use crate::device::{hash, mix, DeviceProfile};
@@ -19,7 +20,7 @@ const MAX_REDIRECTS: usize = 8;
 
 /// An instrumented browser session.
 pub struct Browser<'w> {
-    server: WebServer<'w>,
+    transport: Box<dyn Transport + 'w>,
     /// Jar.
     pub jar: CookieJar,
     /// Device.
@@ -39,12 +40,19 @@ impl<'w> Browser<'w> {
     /// world seed, country and crawler kind — one session per crawl, exactly
     /// like the paper's single long-lived browser (§3.1).
     pub fn new(world: &'w World, ctx: ClientContext) -> Browser<'w> {
+        Browser::with_transport(Box::new(WebServer::new(world)), ctx)
+    }
+
+    /// Opens a session over an already-assembled transport stack (a
+    /// metered/fault-injecting decorator chain, or any future socket-backed
+    /// implementation). [`Browser::new`] is the direct-stack shorthand.
+    pub fn with_transport(transport: Box<dyn Transport + 'w>, ctx: ClientContext) -> Browser<'w> {
         let device = match ctx.browser {
             BrowserKind::OpenWpm => DeviceProfile::openwpm_firefox52(),
             BrowserKind::Selenium => DeviceProfile::selenium_chrome(),
         };
         Browser {
-            server: WebServer::new(world),
+            transport,
             jar: CookieJar::new(),
             device,
             ctx,
@@ -313,7 +321,7 @@ impl<'w> Browser<'w> {
             req.headers
                 .set("user-agent", self.device.user_agent.clone());
 
-            let outcome = self.server.handle(&req, &self.ctx);
+            let outcome = self.transport.fetch(&req, &self.ctx);
             let mut record = RequestRecord {
                 url: current.clone(),
                 method: Method::Get,
@@ -377,9 +385,9 @@ impl<'w> Browser<'w> {
         &self.ctx
     }
 
-    /// Access to the underlying server (tests only).
-    pub fn server(&self) -> &WebServer<'w> {
-        &self.server
+    /// DNS-ish reachability of a host through the session's transport.
+    pub fn host_resolvable(&self, host: &str) -> bool {
+        self.transport.resolvable(host)
     }
 }
 

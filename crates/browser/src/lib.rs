@@ -3,8 +3,10 @@
 //! The instrumented browser — this repository's OpenWPM analog.
 //!
 //! A [`Browser`] holds one long-lived session (cookie jar, device profile,
-//! vantage point) against a simulated [`redlight_websim::WebServer`]. A call
-//! to [`Browser::visit`] loads a landing page exactly the way the paper's
+//! vantage point) against a [`redlight_net::transport::Transport`] stack —
+//! by default the simulated [`redlight_websim::WebServer`], optionally
+//! wrapped in metering/fault-injection decorators. A call to
+//! [`Browser::visit`] loads a landing page exactly the way the paper's
 //! crawler does: HTTPS first with HTTP downgrade, redirects followed,
 //! subresources fetched with referrer and cookie headers, scripts executed
 //! in an instrumented engine that records every host-API call (canvas, font

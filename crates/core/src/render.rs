@@ -536,7 +536,16 @@ impl crate::results::StageReport {
 
         let mut crawls = Table::new(
             "Collection layer — one row per crawl",
-            &["crawler", "country", "corpus", "sites", "wall (ms)"],
+            &[
+                "crawler",
+                "country",
+                "corpus",
+                "sites",
+                "attempts",
+                "retries",
+                "failed",
+                "wall (ms)",
+            ],
         );
         for c in &self.crawls {
             let corpus = c
@@ -548,10 +557,20 @@ impl crate::results::StageReport {
                 format!("{:?}", c.country),
                 corpus,
                 fmt_count(c.sites),
+                fmt_count(c.attempts as usize),
+                fmt_count(c.retries as usize),
+                fmt_count(c.failures as usize),
                 ms(c.wall),
             ]);
         }
         let crawl_total: std::time::Duration = self.crawls.iter().map(|c| c.wall).sum();
+        let (visits, retries, failures) = self.crawls.iter().fold((0u64, 0u64, 0u64), |acc, c| {
+            (
+                acc.0 + c.sites as u64,
+                acc.1 + c.retries,
+                acc.2 + c.failures,
+            )
+        });
 
         let mut stages = Table::new(
             "Analysis layer — one row per stage",
@@ -568,12 +587,60 @@ impl crate::results::StageReport {
         let stage_total: std::time::Duration = self.stages.iter().map(|s| s.wall).sum();
 
         let mut out = format!(
-            "{}total crawl wall time: {} ms\n\n{}total stage wall time: {} ms\n",
+            "{}visits: {}   retries: {}   failed visits: {}\n\
+             total crawl wall time: {} ms\n\n{}total stage wall time: {} ms\n",
             crawls.render(),
+            fmt_count(visits as usize),
+            fmt_count(retries as usize),
+            fmt_count(failures as usize),
             ms(crawl_total),
             stages.render(),
             ms(stage_total),
         );
+
+        if self.crawls.iter().any(|c| c.net.is_some()) {
+            let us = |d: std::time::Duration| format!("{:.1}", d.as_secs_f64() * 1e6);
+            let mut transport = Table::new(
+                "Transport layer — per-crawl wire counters",
+                &[
+                    "crawler", "country", "corpus", "requests", "ok", "unreach", "timeout", "5xx",
+                    "KiB", "µs/req",
+                ],
+            );
+            let mut total = redlight_net::transport::TransportStats::default();
+            for c in self.crawls.iter().filter(|c| c.net.is_some()) {
+                let stats = c.net.as_ref().expect("filtered");
+                let corpus = c
+                    .corpus
+                    .map(|l| format!("{l:?}").to_lowercase())
+                    .unwrap_or_else(|| "interaction".to_string());
+                transport.row(&[
+                    c.crawler.to_string(),
+                    format!("{:?}", c.country),
+                    corpus,
+                    fmt_count(stats.requests as usize),
+                    fmt_count(stats.responses as usize),
+                    fmt_count(stats.unreachable as usize),
+                    fmt_count(stats.timeouts as usize),
+                    fmt_count(stats.server_errors as usize),
+                    fmt_count((stats.body_bytes / 1024) as usize),
+                    us(stats.mean_latency()),
+                ]);
+                total.merge(stats);
+            }
+            let t = total;
+            out.push('\n');
+            out.push_str(&transport.render());
+            out.push_str(&format!(
+                "transport totals: {} requests, {} answered, {} unreachable, {} timed out, \
+                 {} KiB over the wire\n",
+                fmt_count(t.requests as usize),
+                fmt_count(t.responses as usize),
+                fmt_count(t.unreachable as usize),
+                fmt_count(t.timeouts as usize),
+                fmt_count((t.body_bytes / 1024) as usize),
+            ));
+        }
 
         if !self.caches.is_empty() {
             let mut caches = Table::new(

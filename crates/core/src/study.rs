@@ -24,6 +24,7 @@ use redlight_crawler::plan::{
     CrawlPlan, CrawlSpec, CrawlTiming, DomainSel, InteractionSpec, PlanDomains,
 };
 use redlight_net::geoip::Country;
+use redlight_net::transport::NetProfile;
 use redlight_websim::{World, WorldConfig};
 
 use crate::results::{StageReport, StudyResults};
@@ -41,6 +42,10 @@ pub struct StudyConfig {
     pub agegate_top_n: usize,
     /// Cap on policy pairs examined for the §7.3 similarity sweep.
     pub max_policy_pairs: usize,
+    /// Network profile every crawl runs over: transport stack (direct /
+    /// metered / fault-injecting) plus the visit retry policy. The default
+    /// injects nothing, so results stay byte-identical to a direct run.
+    pub net: NetProfile,
 }
 
 impl StudyConfig {
@@ -51,6 +56,7 @@ impl StudyConfig {
             countries: Country::ALL.to_vec(),
             agegate_top_n: 50,
             max_policy_pairs: 1_300_000,
+            net: NetProfile::default(),
         }
     }
 
@@ -61,6 +67,7 @@ impl StudyConfig {
             countries: Country::ALL.to_vec(),
             agegate_top_n: 12,
             max_policy_pairs: 40_000,
+            net: NetProfile::default(),
         }
     }
 
@@ -71,6 +78,7 @@ impl StudyConfig {
             countries: vec![Country::Spain, Country::Usa, Country::Russia],
             agegate_top_n: 8,
             max_policy_pairs: 5_000,
+            net: NetProfile::default(),
         }
     }
 
@@ -92,6 +100,7 @@ impl StudyConfig {
                     store_dom: true,
                 },
                 domains: DomainSel::Porn,
+                net: self.net.clone(),
             },
             CrawlSpec {
                 config: CrawlConfig {
@@ -100,6 +109,7 @@ impl StudyConfig {
                     store_dom: false,
                 },
                 domains: DomainSel::Regular,
+                net: self.net.clone(),
             },
         ];
         for &country in self.countries.iter().filter(|c| **c != Country::Spain) {
@@ -110,18 +120,21 @@ impl StudyConfig {
                     store_dom: country == Country::Usa,
                 },
                 domains: DomainSel::Porn,
+                net: self.net.clone(),
             });
         }
 
         let mut interactions = vec![InteractionSpec {
             country: Country::Spain,
             domains: DomainSel::Porn,
+            net: self.net.clone(),
         }];
         for country in GATE_COUNTRIES {
             if country != Country::Spain {
                 interactions.push(InteractionSpec {
                     country,
                     domains: DomainSel::AgeGateTop,
+                    net: self.net.clone(),
                 });
             }
         }

@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::time::Duration;
 
 use redlight_browser::PageVisit;
 use redlight_net::geoip::Country;
@@ -24,6 +25,24 @@ pub struct SiteVisitRecord {
     pub domain: String,
     /// Visit.
     pub visit: PageVisit,
+    /// Document-load attempts spent on the site (1 = first try succeeded
+    /// or no retry budget; 0 = the corpus entry never parsed into a URL).
+    pub attempts: u32,
+    /// Wall time the crawler spent on this site, retries included.
+    pub wall: Duration,
+}
+
+impl SiteVisitRecord {
+    /// A single-attempt record (the overwhelmingly common case; retrying
+    /// crawlers fill the attempt/wall fields themselves).
+    pub fn new(domain: impl Into<String>, visit: PageVisit) -> Self {
+        SiteVisitRecord {
+            domain: domain.into(),
+            visit,
+            attempts: 1,
+            wall: Duration::ZERO,
+        }
+    }
 }
 
 /// One crawl: a country × corpus sweep with a single browser session.
@@ -50,6 +69,24 @@ impl CrawlRecord {
     /// Number of successfully crawled sites.
     pub fn success_count(&self) -> usize {
         self.successful().count()
+    }
+
+    /// Number of visits whose document never loaded.
+    pub fn failure_count(&self) -> usize {
+        self.visits.len() - self.success_count()
+    }
+
+    /// Total document-load attempts across all visits.
+    pub fn total_attempts(&self) -> u64 {
+        self.visits.iter().map(|v| v.attempts as u64).sum()
+    }
+
+    /// Total retries (attempts beyond each visit's first).
+    pub fn total_retries(&self) -> u64 {
+        self.visits
+            .iter()
+            .map(|v| v.attempts.saturating_sub(1) as u64)
+            .sum()
     }
 }
 
@@ -174,19 +211,21 @@ mod tests {
             client_ip: Ipv4Addr::new(203, 0, 113, 77),
             visits: domains
                 .iter()
-                .map(|(d, ok)| SiteVisitRecord {
-                    domain: (*d).into(),
-                    visit: if *ok {
-                        PageVisit {
-                            success: true,
-                            ..PageVisit::failed(
-                                Url::parse(&format!("https://{d}/")).unwrap(),
-                                false,
-                            )
-                        }
-                    } else {
-                        PageVisit::failed(Url::parse(&format!("https://{d}/")).unwrap(), true)
-                    },
+                .map(|(d, ok)| {
+                    SiteVisitRecord::new(
+                        *d,
+                        if *ok {
+                            PageVisit {
+                                success: true,
+                                ..PageVisit::failed(
+                                    Url::parse(&format!("https://{d}/")).unwrap(),
+                                    false,
+                                )
+                            }
+                        } else {
+                            PageVisit::failed(Url::parse(&format!("https://{d}/")).unwrap(), true)
+                        },
+                    )
                 })
                 .collect(),
         }

@@ -20,6 +20,12 @@
 //! * [`plan`] — the [`CrawlPlan`](plan::CrawlPlan): every crawl a study
 //!   performs, declared as data and executed through one code path into a
 //!   [`MeasurementDb`] with per-crawl wall timings.
+//!
+//! Every crawl fetches through the transport seam
+//! ([`redlight_net::transport`]): its [`NetProfile`] — carried on the plan
+//! specs — assembles the stack (direct server, optional fault injection,
+//! optional metering) and sets the visit [`RetryPolicy`], so a plan fully
+//! describes the network weather it runs under.
 
 #![warn(missing_docs)]
 
@@ -34,4 +40,5 @@ pub use corpus::{CorpusCompiler, CorpusReport};
 pub use db::{CrawlRecord, InteractionRecord, MeasurementDb, SiteVisitRecord};
 pub use openwpm::OpenWpmCrawler;
 pub use plan::{CrawlPlan, CrawlSpec, CrawlTiming, DomainSel, InteractionSpec, PlanDomains};
-pub use selenium::SeleniumCrawler;
+pub use redlight_net::transport::{NetProfile, RetryPolicy};
+pub use selenium::{InteractionCrawl, SeleniumCrawler};

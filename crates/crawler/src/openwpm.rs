@@ -5,11 +5,22 @@
 //! observable — visiting only each site's landing page, recording every
 //! HTTP exchange, cookie and instrumented JS call. Visits are attempted
 //! HTTPS-first with HTTP downgrade; pages may hit the 120 s timeout.
+//!
+//! The session fetches through a [`Transport`] stack assembled from the
+//! crawl's [`NetProfile`]: the direct in-process server by default,
+//! optionally wrapped in metering and deterministic fault-injection
+//! decorators. Failed document loads are retried up to the profile's
+//! [`RetryPolicy`](redlight_net::transport::RetryPolicy) budget, with the
+//! attempt count and per-site wall time recorded on every
+//! [`SiteVisitRecord`].
+
+use std::time::Instant;
 
 use redlight_browser::Browser;
 use redlight_net::geoip::Country;
+use redlight_net::transport::{BrowserKind, NetProfile, TransportMeter, TransportStats};
 use redlight_net::url::Url;
-use redlight_websim::server::BrowserKind;
+use redlight_websim::server::WebServer;
 use redlight_websim::World;
 
 use crate::db::{CorpusLabel, CrawlRecord, SiteVisitRecord};
@@ -30,40 +41,92 @@ pub struct CrawlConfig {
 pub struct OpenWpmCrawler<'w> {
     world: &'w World,
     config: CrawlConfig,
+    net: NetProfile,
 }
 
 impl<'w> OpenWpmCrawler<'w> {
-    /// Creates a crawler for `world` with `config`.
+    /// Creates a crawler for `world` with `config` over a default (healthy,
+    /// metered, no-retry) network.
     pub fn new(world: &'w World, config: CrawlConfig) -> Self {
-        OpenWpmCrawler { world, config }
+        OpenWpmCrawler {
+            world,
+            config,
+            net: NetProfile::default(),
+        }
+    }
+
+    /// Replaces the network profile the crawl runs over.
+    pub fn with_net(mut self, net: NetProfile) -> Self {
+        self.net = net;
+        self
     }
 
     /// Crawls `domains` sequentially in one browser session.
     pub fn crawl(&self, domains: &[String]) -> CrawlRecord {
+        self.crawl_metered(domains).0
+    }
+
+    /// Like [`crawl`](Self::crawl), but also returns the transport-layer
+    /// counters when the profile meters (`None` on bare stacks).
+    pub fn crawl_metered(&self, domains: &[String]) -> (CrawlRecord, Option<TransportStats>) {
         let ctx = Browser::context_for(self.world, self.config.country, BrowserKind::OpenWpm);
         let client_ip = ctx.client_ip;
-        let mut browser = Browser::new(self.world, ctx);
+        let meter = TransportMeter::new();
+        let transport = self.net.stack(WebServer::new(self.world), &meter);
+        let mut browser = Browser::with_transport(transport, ctx);
+
         let mut visits = Vec::with_capacity(domains.len());
         for domain in domains {
+            let started = Instant::now();
             let Ok(url) = Url::parse(&format!("https://{domain}/")) else {
+                // A corpus entry that never parses still costs a visit slot:
+                // dropping it here would silently shrink the crawl and skew
+                // every per-corpus denominator downstream.
+                visits.push(SiteVisitRecord {
+                    domain: domain.clone(),
+                    visit: unparsable_visit(),
+                    attempts: 0,
+                    wall: started.elapsed(),
+                });
                 continue;
             };
+            let mut attempts = 1u32;
             let mut visit = browser.visit(&url);
+            while !visit.success && attempts < self.net.retry.max_attempts {
+                attempts += 1;
+                visit = browser.visit(&url);
+            }
             if !self.config.store_dom {
                 visit.dom_html = String::new();
             }
             visits.push(SiteVisitRecord {
                 domain: domain.clone(),
                 visit,
+                attempts,
+                wall: started.elapsed(),
             });
         }
-        CrawlRecord {
-            country: self.config.country,
-            corpus: self.config.corpus,
-            client_ip,
-            visits,
-        }
+        let stats = self.net.metered.then(|| meter.snapshot());
+        (
+            CrawlRecord {
+                country: self.config.country,
+                corpus: self.config.corpus,
+                client_ip,
+                visits,
+            },
+            stats,
+        )
     }
+}
+
+/// The failed-visit placeholder for corpus entries that are not valid
+/// hostnames (`invalid.` is the RFC 2606 reserved TLD, so the sentinel can
+/// never collide with a generated site).
+fn unparsable_visit() -> redlight_browser::PageVisit {
+    redlight_browser::PageVisit::failed(
+        Url::parse("https://invalid.invalid/").expect("static sentinel URL"),
+        false,
+    )
 }
 
 #[cfg(test)]
@@ -107,6 +170,41 @@ mod tests {
             .filter(|s| s.is_porn() && !s.unresponsive && s.openwpm_timeout)
             .count();
         assert_eq!(timeouts, expected_timeouts);
+        // Without a retry budget every visit spends exactly one attempt.
+        assert!(crawl.visits.iter().all(|v| v.attempts == 1));
+        assert_eq!(crawl.total_retries(), 0);
+    }
+
+    #[test]
+    fn malformed_domains_become_failed_visits_not_gaps() {
+        let world = World::build(WorldConfig::tiny(7));
+        let domains = vec![
+            "not a hostname".to_string(),
+            world
+                .sites
+                .iter()
+                .find(|s| s.is_porn() && !s.unresponsive && !s.openwpm_timeout)
+                .unwrap()
+                .domain
+                .clone(),
+        ];
+        let crawl = OpenWpmCrawler::new(
+            &world,
+            CrawlConfig {
+                country: Country::Spain,
+                corpus: CorpusLabel::Porn,
+                store_dom: false,
+            },
+        )
+        .crawl(&domains);
+        // Visit counts always equal corpus size, malformed entries included.
+        assert_eq!(crawl.visits.len(), domains.len());
+        let bad = &crawl.visits[0];
+        assert_eq!(bad.domain, "not a hostname");
+        assert!(!bad.visit.success);
+        assert_eq!(bad.attempts, 0, "nothing was ever fetched");
+        assert!(crawl.visits[1].visit.success);
+        assert_eq!(crawl.failure_count(), 1);
     }
 
     #[test]

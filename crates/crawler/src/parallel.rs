@@ -3,14 +3,17 @@
 //! Crawls are independent browser sessions, so they parallelize cleanly
 //! across a crossbeam scoped-thread pool; **within** one crawl the visits
 //! stay sequential because the paper keeps a single browser session alive to
-//! observe cookie syncing (§3.1). Two job shapes exist: [`CrawlJob`] for
-//! OpenWPM-style sweeps (heterogeneous country × corpus × store-DOM
-//! configurations) and [`InteractionJob`] for Selenium-style interaction
-//! crawls. Both report per-job wall times for the stage report.
+//! observe cookie syncing (§3.1) — which also keeps each session's transport
+//! stack (meters, fault injectors) deterministic regardless of thread
+//! interleaving. Two job shapes exist: [`CrawlJob`] for OpenWPM-style sweeps
+//! (heterogeneous country × corpus × store-DOM configurations) and
+//! [`InteractionJob`] for Selenium-style interaction crawls. Both report
+//! per-job wall times and transport counters for the stage report.
 
 use std::time::{Duration, Instant};
 
 use redlight_net::geoip::Country;
+use redlight_net::transport::{NetProfile, TransportStats};
 use redlight_websim::World;
 
 use crate::db::{CorpusLabel, CrawlRecord, InteractionRecord};
@@ -18,19 +21,36 @@ use crate::openwpm::{CrawlConfig, OpenWpmCrawler};
 use crate::selenium::SeleniumCrawler;
 
 /// One OpenWPM-style crawl job: a full crawler configuration plus the
-/// domain list it sweeps.
+/// domain list it sweeps and the network it runs over.
 #[derive(Debug, Clone)]
 pub struct CrawlJob<'d> {
     /// Crawler configuration.
     pub config: CrawlConfig,
     /// Domains to sweep.
     pub domains: &'d [String],
+    /// Network profile (transport stack + retry policy).
+    pub net: NetProfile,
+}
+
+/// One executed job's output with its instrumentation.
+#[derive(Debug)]
+pub struct JobOutcome<R> {
+    /// The crawl's records.
+    pub output: R,
+    /// Wall-clock duration of the whole job.
+    pub wall: Duration,
+    /// Transport counters, when the job's profile meters.
+    pub transport: Option<TransportStats>,
+    /// Document-load attempts across the job's sites.
+    pub attempts: u64,
+    /// Attempts beyond each site's first.
+    pub retries: u64,
 }
 
 /// Runs heterogeneous OpenWPM-style crawl jobs concurrently, returning each
-/// record with its wall time, in job order.
-pub fn run_crawl_jobs(world: &World, jobs: &[CrawlJob<'_>]) -> Vec<(CrawlRecord, Duration)> {
-    let mut slots: Vec<Option<(CrawlRecord, Duration)>> = Vec::new();
+/// record with its instrumentation, in job order.
+pub fn run_crawl_jobs(world: &World, jobs: &[CrawlJob<'_>]) -> Vec<JobOutcome<CrawlRecord>> {
+    let mut slots: Vec<Option<JobOutcome<CrawlRecord>>> = Vec::new();
     slots.resize_with(jobs.len(), || None);
 
     crossbeam::thread::scope(|scope| {
@@ -40,8 +60,16 @@ pub fn run_crawl_jobs(world: &World, jobs: &[CrawlJob<'_>]) -> Vec<(CrawlRecord,
                 i,
                 scope.spawn(move |_| {
                     let start = Instant::now();
-                    let record = OpenWpmCrawler::new(world, job.config.clone()).crawl(job.domains);
-                    (record, start.elapsed())
+                    let (record, transport) = OpenWpmCrawler::new(world, job.config.clone())
+                        .with_net(job.net.clone())
+                        .crawl_metered(job.domains);
+                    JobOutcome {
+                        wall: start.elapsed(),
+                        transport,
+                        attempts: record.total_attempts(),
+                        retries: record.total_retries(),
+                        output: record,
+                    }
                 }),
             ));
         }
@@ -61,15 +89,17 @@ pub struct InteractionJob<'d> {
     pub country: Country,
     /// Domains to interact with.
     pub domains: &'d [String],
+    /// Network profile (transport stack + retry policy).
+    pub net: NetProfile,
 }
 
 /// Runs interaction crawl jobs concurrently, returning each country's
-/// records with the job's wall time, in job order.
+/// records with the job's instrumentation, in job order.
 pub fn run_interaction_jobs(
     world: &World,
     jobs: &[InteractionJob<'_>],
-) -> Vec<(Vec<InteractionRecord>, Duration)> {
-    let mut slots: Vec<Option<(Vec<InteractionRecord>, Duration)>> = Vec::new();
+) -> Vec<JobOutcome<Vec<InteractionRecord>>> {
+    let mut slots: Vec<Option<JobOutcome<Vec<InteractionRecord>>>> = Vec::new();
     slots.resize_with(jobs.len(), || None);
 
     crossbeam::thread::scope(|scope| {
@@ -79,8 +109,16 @@ pub fn run_interaction_jobs(
                 i,
                 scope.spawn(move |_| {
                     let start = Instant::now();
-                    let records = SeleniumCrawler::new(world, job.country).crawl(job.domains);
-                    (records, start.elapsed())
+                    let crawl = SeleniumCrawler::new(world, job.country)
+                        .with_net(job.net.clone())
+                        .crawl_metered(job.domains);
+                    JobOutcome {
+                        wall: start.elapsed(),
+                        transport: crawl.transport,
+                        attempts: crawl.attempts,
+                        retries: crawl.retries,
+                        output: crawl.records,
+                    }
                 }),
             ));
         }
@@ -93,8 +131,8 @@ pub fn run_interaction_jobs(
     slots.into_iter().map(|s| s.expect("filled")).collect()
 }
 
-/// Runs one OpenWPM-style crawl per country concurrently, returning the
-/// records in `countries` order.
+/// Runs one OpenWPM-style crawl per country concurrently over a default
+/// network, returning the records in `countries` order.
 ///
 /// `store_dom_for` limits DOM retention to the countries whose crawls feed
 /// DOM-level analyses (consent banners need Spain + USA).
@@ -114,11 +152,12 @@ pub fn crawl_countries(
                 store_dom: store_dom_for.contains(&country),
             },
             domains,
+            net: NetProfile::default(),
         })
         .collect();
     run_crawl_jobs(world, &jobs)
         .into_iter()
-        .map(|(record, _)| record)
+        .map(|job| job.output)
         .collect()
 }
 
@@ -201,6 +240,7 @@ mod tests {
                     store_dom: true,
                 },
                 domains: &porn,
+                net: NetProfile::default(),
             },
             CrawlJob {
                 config: CrawlConfig {
@@ -209,25 +249,45 @@ mod tests {
                     store_dom: false,
                 },
                 domains: &regular,
+                net: NetProfile::default(),
             },
         ];
         let results = run_crawl_jobs(&world, &jobs);
         assert_eq!(results.len(), 2);
-        assert_eq!(results[0].0.corpus, CorpusLabel::Porn);
-        assert_eq!(results[1].0.corpus, CorpusLabel::Regular);
-        assert_eq!(results[0].0.visits.len(), porn.len());
-        assert_eq!(results[1].0.visits.len(), regular.len());
-        assert!(results.iter().all(|(_, wall)| *wall > Duration::ZERO));
+        assert_eq!(results[0].output.corpus, CorpusLabel::Porn);
+        assert_eq!(results[1].output.corpus, CorpusLabel::Regular);
+        assert_eq!(results[0].output.visits.len(), porn.len());
+        assert_eq!(results[1].output.visits.len(), regular.len());
+        assert!(results.iter().all(|job| job.wall > Duration::ZERO));
+        // The default profile meters: the transport saw every request the
+        // visits recorded (and the redirect hops inside them).
+        for job in &results {
+            let stats = job.transport.as_ref().expect("default profile meters");
+            let recorded: u64 = job
+                .output
+                .visits
+                .iter()
+                .map(|v| v.visit.requests.len() as u64)
+                .sum();
+            assert_eq!(stats.requests, recorded);
+            assert_eq!(job.attempts, job.output.visits.len() as u64);
+            assert_eq!(job.retries, 0);
+        }
 
         let interactions = run_interaction_jobs(
             &world,
             &[InteractionJob {
                 country: Country::Usa,
                 domains: &porn,
+                net: NetProfile::default(),
             }],
         );
         assert_eq!(interactions.len(), 1);
-        assert_eq!(interactions[0].0.len(), porn.len());
-        assert!(interactions[0].0.iter().all(|r| r.country == Country::Usa));
+        assert_eq!(interactions[0].output.len(), porn.len());
+        assert!(interactions[0]
+            .output
+            .iter()
+            .all(|r| r.country == Country::Usa));
+        assert!(interactions[0].transport.as_ref().unwrap().requests > 0);
     }
 }

@@ -12,6 +12,7 @@
 use std::time::Duration;
 
 use redlight_net::geoip::Country;
+use redlight_net::transport::{NetProfile, TransportStats};
 use redlight_websim::World;
 
 use crate::db::{CorpusLabel, MeasurementDb};
@@ -37,6 +38,8 @@ pub struct CrawlSpec {
     pub config: CrawlConfig,
     /// Domain list to sweep.
     pub domains: DomainSel,
+    /// Network the crawl runs over (transport stack + retry policy).
+    pub net: NetProfile,
 }
 
 /// One planned interaction crawl.
@@ -46,6 +49,8 @@ pub struct InteractionSpec {
     pub country: Country,
     /// Domain list to interact with.
     pub domains: DomainSel,
+    /// Network the crawl runs over (transport stack + retry policy).
+    pub net: NetProfile,
 }
 
 /// The concrete domain lists a plan's selectors resolve against.
@@ -69,7 +74,7 @@ impl PlanDomains<'_> {
     }
 }
 
-/// Wall time and size of one executed crawl.
+/// Wall time, size and network instrumentation of one executed crawl.
 #[derive(Debug, Clone)]
 pub struct CrawlTiming {
     /// `"openwpm"` or `"selenium"`.
@@ -80,8 +85,16 @@ pub struct CrawlTiming {
     pub corpus: Option<CorpusLabel>,
     /// Number of sites the crawl covered.
     pub sites: usize,
+    /// Document-load attempts spent across those sites.
+    pub attempts: u64,
+    /// Attempts beyond each site's first (retry-policy spillover).
+    pub retries: u64,
+    /// Sites whose document never loaded.
+    pub failures: u64,
     /// Wall-clock duration of the crawl.
     pub wall: Duration,
+    /// Transport-layer counters, when the crawl's profile metered.
+    pub net: Option<TransportStats>,
 }
 
 /// Every crawl one study performs.
@@ -109,6 +122,7 @@ impl CrawlPlan {
             .map(|spec| CrawlJob {
                 config: spec.config.clone(),
                 domains: domains.resolve(spec.domains),
+                net: spec.net.clone(),
             })
             .collect();
         let interaction_jobs: Vec<InteractionJob<'_>> = self
@@ -117,32 +131,43 @@ impl CrawlPlan {
             .map(|spec| InteractionJob {
                 country: spec.country,
                 domains: domains.resolve(spec.domains),
+                net: spec.net.clone(),
             })
             .collect();
 
         let mut db = MeasurementDb::new();
         let mut timings = Vec::with_capacity(crawl_jobs.len() + interaction_jobs.len());
-        for (record, wall) in run_crawl_jobs(world, &crawl_jobs) {
+        for job in run_crawl_jobs(world, &crawl_jobs) {
+            let record = job.output;
             timings.push(CrawlTiming {
                 crawler: "openwpm",
                 country: record.country,
                 corpus: Some(record.corpus),
                 sites: record.visits.len(),
-                wall,
+                attempts: job.attempts,
+                retries: job.retries,
+                failures: record.failure_count() as u64,
+                wall: job.wall,
+                net: job.transport,
             });
             db.push_crawl(record);
         }
-        for (spec, (records, wall)) in self
+        for (spec, job) in self
             .interactions
             .iter()
             .zip(run_interaction_jobs(world, &interaction_jobs))
         {
+            let records = job.output;
             timings.push(CrawlTiming {
                 crawler: "selenium",
                 country: spec.country,
                 corpus: None,
                 sites: records.len(),
-                wall,
+                attempts: job.attempts,
+                retries: job.retries,
+                failures: records.iter().filter(|r| !r.reachable).count() as u64,
+                wall: job.wall,
+                net: job.transport,
             });
             db.push_interactions(records);
         }
@@ -171,6 +196,7 @@ mod tests {
                         store_dom: true,
                     },
                     domains: DomainSel::Porn,
+                    net: NetProfile::default(),
                 },
                 CrawlSpec {
                     config: CrawlConfig {
@@ -179,6 +205,7 @@ mod tests {
                         store_dom: false,
                     },
                     domains: DomainSel::Regular,
+                    net: NetProfile::default(),
                 },
                 CrawlSpec {
                     config: CrawlConfig {
@@ -187,16 +214,19 @@ mod tests {
                         store_dom: false,
                     },
                     domains: DomainSel::Porn,
+                    net: NetProfile::default(),
                 },
             ],
             interactions: vec![
                 InteractionSpec {
                     country: Country::Spain,
                     domains: DomainSel::Porn,
+                    net: NetProfile::default(),
                 },
                 InteractionSpec {
                     country: Country::Uk,
                     domains: DomainSel::AgeGateTop,
+                    net: NetProfile::default(),
                 },
             ],
         };
@@ -244,6 +274,7 @@ mod tests {
             openwpm: vec![CrawlSpec {
                 config: config.clone(),
                 domains: DomainSel::Porn,
+                net: NetProfile::default(),
             }],
             interactions: vec![],
         };

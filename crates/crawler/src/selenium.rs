@@ -15,36 +15,85 @@ use redlight_html::dom::Document;
 use redlight_html::{parser, query, style};
 use redlight_net::geoip::Country;
 use redlight_net::http::ResourceKind;
+use redlight_net::transport::{BrowserKind, NetProfile, TransportMeter, TransportStats};
 use redlight_net::url::Url;
 use redlight_text::lang;
-use redlight_websim::server::BrowserKind;
+use redlight_websim::server::WebServer;
 use redlight_websim::World;
 
 use crate::db::InteractionRecord;
+
+/// One interaction crawl's output plus its network bookkeeping.
+#[derive(Debug)]
+pub struct InteractionCrawl {
+    /// One record per crawled domain, in input order.
+    pub records: Vec<InteractionRecord>,
+    /// Transport counters when the profile meters (`None` on bare stacks).
+    pub transport: Option<TransportStats>,
+    /// Landing-page load attempts across all sites.
+    pub attempts: u64,
+    /// Attempts beyond each site's first.
+    pub retries: u64,
+}
 
 /// The interaction crawler.
 pub struct SeleniumCrawler<'w> {
     world: &'w World,
     country: Country,
+    net: NetProfile,
 }
 
 impl<'w> SeleniumCrawler<'w> {
-    /// Creates a crawler from the given vantage point.
+    /// Creates a crawler from the given vantage point over a default
+    /// (healthy, metered, no-retry) network.
     pub fn new(world: &'w World, country: Country) -> Self {
-        SeleniumCrawler { world, country }
+        SeleniumCrawler {
+            world,
+            country,
+            net: NetProfile::default(),
+        }
+    }
+
+    /// Replaces the network profile the crawl runs over.
+    pub fn with_net(mut self, net: NetProfile) -> Self {
+        self.net = net;
+        self
     }
 
     /// Crawls `domains`, producing one record each.
     pub fn crawl(&self, domains: &[String]) -> Vec<InteractionRecord> {
-        let ctx = Browser::context_for(self.world, self.country, BrowserKind::Selenium);
-        let mut browser = Browser::new(self.world, ctx);
-        domains
-            .iter()
-            .map(|d| self.crawl_site(&mut browser, d))
-            .collect()
+        self.crawl_metered(domains).records
     }
 
-    fn crawl_site(&self, browser: &mut Browser<'w>, domain: &str) -> InteractionRecord {
+    /// Like [`crawl`](Self::crawl), but keeps the transport counters and
+    /// per-crawl attempt totals alongside the records.
+    pub fn crawl_metered(&self, domains: &[String]) -> InteractionCrawl {
+        let ctx = Browser::context_for(self.world, self.country, BrowserKind::Selenium);
+        let meter = TransportMeter::new();
+        let transport = self.net.stack(WebServer::new(self.world), &meter);
+        let mut browser = Browser::with_transport(transport, ctx);
+        let mut attempts_total = 0u64;
+        let mut retries = 0u64;
+        let records = domains
+            .iter()
+            .map(|d| {
+                let (record, attempts) = self.crawl_site(&mut browser, d);
+                attempts_total += attempts as u64;
+                retries += attempts.saturating_sub(1) as u64;
+                record
+            })
+            .collect();
+        InteractionCrawl {
+            records,
+            transport: self.net.metered.then(|| meter.snapshot()),
+            attempts: attempts_total,
+            retries,
+        }
+    }
+
+    /// Crawls one site, returning its record with the number of
+    /// landing-page attempts spent (0 when the domain never parsed).
+    fn crawl_site(&self, browser: &mut Browser<'w>, domain: &str) -> (InteractionRecord, u32) {
         let mut record = InteractionRecord {
             domain: domain.to_string(),
             country: self.country,
@@ -59,15 +108,21 @@ impl<'w> SeleniumCrawler<'w> {
             premium_page: None,
         };
         let Ok(url) = Url::parse(&format!("https://{domain}/")) else {
-            return record;
+            // Malformed corpus entry: recorded as unreachable, never dropped.
+            return (record, 0);
         };
+        let mut attempts = 1u32;
         let mut visit = browser.visit(&url);
+        while !visit.success && attempts < self.net.retry.max_attempts {
+            attempts += 1;
+            visit = browser.visit(&url);
+        }
         if !visit.success {
-            return record;
+            return (record, attempts);
         }
         record.reachable = true;
         let Some(mut page_url) = visit.final_url.clone() else {
-            return record;
+            return (record, attempts);
         };
         let mut doc = parser::parse(&visit.dom_html);
 
@@ -138,7 +193,7 @@ impl<'w> SeleniumCrawler<'w> {
             }
         }
 
-        record
+        (record, attempts)
     }
 }
 

@@ -3,7 +3,9 @@
 //! The network-object model underpinning the measurement platform: URLs,
 //! hostnames and registrable domains (eTLD+1), HTTP messages, RFC 6265
 //! cookies and a cookie jar, a simplified X.509 certificate model, DNS and
-//! WHOIS records, wire codecs (base64, percent-encoding) and a geo-IP table.
+//! WHOIS records, wire codecs (base64, percent-encoding), a geo-IP table,
+//! and the [`transport`] seam (the [`Transport`] trait plus its metering
+//! and fault-injection decorators) every fetch flows through.
 //!
 //! Everything here is implemented from scratch — no external URL/HTTP/base64
 //! crates — so the repository is a self-contained reproduction substrate.
@@ -20,6 +22,7 @@ pub mod http;
 pub mod jar;
 pub mod psl;
 pub mod tls;
+pub mod transport;
 pub mod url;
 pub mod whois;
 
@@ -29,4 +32,8 @@ pub use host::Fqdn;
 pub use http::{HeaderMap, Method, Request, Response, Scheme, StatusCode};
 pub use jar::CookieJar;
 pub use tls::Certificate;
+pub use transport::{
+    BrowserKind, ClientContext, FetchOutcome, NetProfile, RetryPolicy, Transport, TransportMeter,
+    TransportStats,
+};
 pub use url::Url;

@@ -11,9 +11,13 @@ use redlight_net::cookie::Cookie;
 use redlight_net::geoip::{Country, GeoIpDb};
 use redlight_net::http::{Request, Response, Scheme, StatusCode};
 use redlight_net::psl;
+use redlight_net::transport::Transport;
 use redlight_net::url::Url;
-use serde::{Deserialize, Serialize};
-use std::net::Ipv4Addr;
+
+// The client-facing vocabulary lives on the transport seam now; re-exported
+// here so `websim::server::{BrowserKind, ClientContext, FetchOutcome}` keeps
+// working for every existing consumer.
+pub use redlight_net::transport::{BrowserKind, ClientContext, FetchOutcome};
 
 use crate::content::{self, mix, RenderCtx};
 use crate::scriptgen;
@@ -21,47 +25,24 @@ use crate::service::ThirdPartyService;
 use crate::sitegen::Site;
 use crate::world::{HostEntity, World};
 
-/// Which crawler stack is driving the browser (the OpenWPM crawl obeys the
-/// 120 s page timeout; the Selenium crawl in the paper ran separately and
-/// reached sites the OpenWPM crawl lost to timeouts).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum BrowserKind {
-    /// The OpenWPM-style measurement crawler (Firefox 52 profile).
-    OpenWpm,
-    /// The Selenium-style interaction crawler (Chrome profile).
-    Selenium,
-}
-
-/// Per-session client context the server sees.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ClientContext {
-    /// Country.
-    pub country: Country,
-    /// Client ip.
-    pub client_ip: Ipv4Addr,
-    /// Browser-session nonce: tracker uids are stable per session.
-    pub session: u64,
-    /// Browser.
-    pub browser: BrowserKind,
-}
-
-/// Outcome of a fetch attempt.
-#[derive(Debug, Clone)]
-#[allow(clippy::large_enum_variant)] // responses dominate; boxing buys nothing on this hot path
-pub enum FetchOutcome {
-    /// Response.
-    Response(Response),
-    /// DNS failure / connection refused (unknown host, geo-block,
-    /// unresponsive site, HTTPS to an HTTP-only server).
-    Unreachable,
-    /// The page load exceeded the crawler's timeout.
-    Timeout,
-}
+/// The canonical [`Transport`] implementation: the in-process synthetic
+/// web, no decorators.
+pub type DirectTransport<'w> = WebServer<'w>;
 
 /// The server over a built [`World`].
 pub struct WebServer<'w> {
     world: &'w World,
     geoip: GeoIpDb,
+}
+
+impl Transport for WebServer<'_> {
+    fn fetch(&self, req: &Request, ctx: &ClientContext) -> FetchOutcome {
+        self.handle(req, ctx)
+    }
+
+    fn resolvable(&self, host: &str) -> bool {
+        self.world.resolve_host(host).is_some()
+    }
 }
 
 impl<'w> WebServer<'w> {
@@ -464,6 +445,7 @@ mod tests {
     use super::*;
     use crate::config::WorldConfig;
     use redlight_net::http::{Method, ResourceKind};
+    use std::net::Ipv4Addr;
 
     fn world() -> World {
         World::build(WorldConfig::tiny(77))

@@ -34,10 +34,7 @@ fn crawl(world: &World, domains: &[String], with_blocker: bool) -> CrawlRecord {
         .iter()
         .filter_map(|domain| {
             let url = Url::parse(&format!("https://{domain}/")).ok()?;
-            Some(SiteVisitRecord {
-                domain: domain.clone(),
-                visit: browser.visit(&url),
-            })
+            Some(SiteVisitRecord::new(domain.clone(), browser.visit(&url)))
         })
         .collect();
     CrawlRecord {

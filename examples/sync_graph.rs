@@ -57,10 +57,7 @@ fn main() {
         client_ip = ctx.client_ip;
         let mut fresh = Browser::new(&world, ctx); // empty jar every time
         let url = Url::parse(&format!("https://{domain}/")).expect("valid url");
-        cold_visits.push(SiteVisitRecord {
-            domain: domain.clone(),
-            visit: fresh.visit(&url),
-        });
+        cold_visits.push(SiteVisitRecord::new(domain.clone(), fresh.visit(&url)));
     }
     let cold_crawl = CrawlRecord {
         country: Country::Spain,

@@ -16,7 +16,13 @@ cargo test --workspace -q
 echo "==> matcher equivalence (tokenized vs linear reference)"
 cargo test -q -p redlight-blocklist --test matcher_equivalence
 
+echo "==> transport fault matrix (determinism, passthrough, retry budget)"
+cargo test -q --test transport_faults
+
 echo "==> ats_match bench smoke (--test mode, 1 iteration per bench)"
 cargo bench -p redlight-bench --bench ats_match -- --test
+
+echo "==> transport bench smoke (--test mode, 1 iteration per bench)"
+cargo bench -p redlight-bench --bench transport -- --test
 
 echo "OK"

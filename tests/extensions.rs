@@ -28,9 +28,11 @@ fn crawl(world: &World, domains: &[String], blocker: bool) -> CrawlRecord {
         client_ip,
         visits: domains
             .iter()
-            .map(|d| SiteVisitRecord {
-                domain: d.clone(),
-                visit: browser.visit(&Url::parse(&format!("https://{d}/")).unwrap()),
+            .map(|d| {
+                SiteVisitRecord::new(
+                    d.clone(),
+                    browser.visit(&Url::parse(&format!("https://{d}/")).unwrap()),
+                )
             })
             .collect(),
     }
