@@ -8,8 +8,9 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+use redlight_obs::{Counter, Registry};
 
 use redlight_blocklist::{FilterSet, RequestContext};
 use redlight_net::http::ResourceKind;
@@ -35,10 +36,10 @@ pub struct AtsClassifier {
     hosts: Arc<HostCache>,
     url_cache: RwLock<HashMap<u64, Vec<(UrlKey, bool)>>>,
     fqdn_cache: RwLock<HashMap<String, bool>>,
-    url_hits: AtomicU64,
-    url_misses: AtomicU64,
-    fqdn_hits: AtomicU64,
-    fqdn_misses: AtomicU64,
+    url_hits: Counter,
+    url_misses: Counter,
+    fqdn_hits: Counter,
+    fqdn_misses: Counter,
 }
 
 impl AtsClassifier {
@@ -59,10 +60,29 @@ impl AtsClassifier {
             hosts,
             url_cache: RwLock::new(HashMap::new()),
             fqdn_cache: RwLock::new(HashMap::new()),
-            url_hits: AtomicU64::new(0),
-            url_misses: AtomicU64::new(0),
-            fqdn_hits: AtomicU64::new(0),
-            fqdn_misses: AtomicU64::new(0),
+            url_hits: Counter::new(),
+            url_misses: Counter::new(),
+            fqdn_hits: Counter::new(),
+            fqdn_misses: Counter::new(),
+        }
+    }
+
+    /// [`AtsClassifier::with_hosts`] with verdict-memo counters published
+    /// as the registry's `cache.ats-url-verdicts.*` /
+    /// `cache.ats-fqdn-verdicts.*` metrics ([`AtsClassifier::cache_stats`]
+    /// reads the same cells).
+    pub fn with_hosts_in(
+        easylist: &str,
+        easyprivacy: &str,
+        hosts: Arc<HostCache>,
+        registry: &Registry,
+    ) -> Self {
+        AtsClassifier {
+            url_hits: registry.counter("cache.ats-url-verdicts.hits"),
+            url_misses: registry.counter("cache.ats-url-verdicts.misses"),
+            fqdn_hits: registry.counter("cache.ats-fqdn-verdicts.hits"),
+            fqdn_misses: registry.counter("cache.ats-fqdn-verdicts.misses"),
+            ..Self::with_hosts(easylist, easyprivacy, hosts)
         }
     }
 
@@ -95,12 +115,12 @@ impl AtsClassifier {
                     && k_page.as_ref() == page_host
                     && k_req.as_ref() == request_host
                 {
-                    self.url_hits.fetch_add(1, Ordering::Relaxed);
+                    self.url_hits.inc();
                     return *verdict;
                 }
             }
         }
-        self.url_misses.fetch_add(1, Ordering::Relaxed);
+        self.url_misses.inc();
         let ctx = RequestContext::with_hosts(page_host, request_host, kind, &self.hosts);
         let verdict = self.filters.matches(url, &ctx).is_blocked();
         self.url_cache
@@ -119,10 +139,10 @@ impl AtsClassifier {
     /// organization. Memoized per FQDN.
     pub fn is_ats_fqdn(&self, fqdn: &str) -> bool {
         if let Some(&verdict) = self.fqdn_cache.read().expect("fqdn cache lock").get(fqdn) {
-            self.fqdn_hits.fetch_add(1, Ordering::Relaxed);
+            self.fqdn_hits.inc();
             return verdict;
         }
-        self.fqdn_misses.fetch_add(1, Ordering::Relaxed);
+        self.fqdn_misses.inc();
         let verdict = self.filters.matches_fqdn_relaxed(fqdn);
         self.fqdn_cache
             .write()
@@ -135,12 +155,12 @@ impl AtsClassifier {
     pub fn cache_stats(&self) -> (CacheStats, CacheStats) {
         (
             CacheStats {
-                hits: self.url_hits.load(Ordering::Relaxed),
-                misses: self.url_misses.load(Ordering::Relaxed),
+                hits: self.url_hits.get(),
+                misses: self.url_misses.get(),
             },
             CacheStats {
-                hits: self.fqdn_hits.load(Ordering::Relaxed),
-                misses: self.fqdn_misses.load(Ordering::Relaxed),
+                hits: self.fqdn_hits.get(),
+                misses: self.fqdn_misses.get(),
             },
         )
     }

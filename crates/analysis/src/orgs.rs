@@ -11,6 +11,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use redlight_blocklist::EntityList;
 use redlight_net::tls::CertSummary;
+use redlight_obs::Registry;
 use serde::{Deserialize, Serialize};
 
 use crate::thirdparty::ThirdPartyExtract;
@@ -35,6 +36,21 @@ impl CertHarvest {
     /// contacted FQDN with `probe` (out-of-band TLS handshake; `None` when
     /// the host has no certificate).
     pub fn collect(crawls: &[&CrawlRecord], probe: Option<CertProbe<'_>>) -> Self {
+        Self::collect_in(crawls, probe, &Registry::new())
+    }
+
+    /// [`CertHarvest::collect`] publishing `cache.cert-harvest.hits`
+    /// (hosts whose certificate came from crawl traffic) and
+    /// `cache.cert-harvest.misses` (contacted hosts that needed the
+    /// out-of-band probe) into `registry`. Harvest contents are identical
+    /// to [`CertHarvest::collect`].
+    pub fn collect_in(
+        crawls: &[&CrawlRecord],
+        probe: Option<CertProbe<'_>>,
+        registry: &Registry,
+    ) -> Self {
+        let hits = registry.counter("cache.cert-harvest.hits");
+        let misses = registry.counter("cache.cert-harvest.misses");
         let mut certs: BTreeMap<String, CertSummary> = BTreeMap::new();
         let mut contacted: BTreeSet<String> = BTreeSet::new();
         for crawl in crawls {
@@ -48,9 +64,11 @@ impl CertHarvest {
                 }
             }
         }
+        hits.add(certs.len() as u64);
         if let Some(probe) = probe {
             for host in contacted {
                 if let std::collections::btree_map::Entry::Vacant(e) = certs.entry(host.clone()) {
+                    misses.inc();
                     if let Some(cert) = probe(&host) {
                         e.insert(cert);
                     }

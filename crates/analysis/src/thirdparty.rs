@@ -7,8 +7,9 @@
 //! `doublepimpssl.com` while separating it from `doubleclick.net`.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+use redlight_obs::{Counter, Registry};
 
 use redlight_browser::Initiator;
 use redlight_net::geoip::Country;
@@ -216,8 +217,8 @@ type ExtractKey = (Country, CorpusLabel, bool);
 pub struct ExtractMemo {
     hosts: Arc<HostCache>,
     map: RwLock<HashMap<ExtractKey, Arc<ThirdPartyExtract>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl ExtractMemo {
@@ -226,8 +227,19 @@ impl ExtractMemo {
         ExtractMemo {
             hosts,
             map: RwLock::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    /// [`ExtractMemo::new`] publishing `cache.thirdparty-extracts.hits` /
+    /// `.misses` into `registry` ([`ExtractMemo::stats`] reads the same
+    /// cells).
+    pub fn in_registry(hosts: Arc<HostCache>, registry: &Registry) -> Self {
+        ExtractMemo {
+            hits: registry.counter("cache.thirdparty-extracts.hits"),
+            misses: registry.counter("cache.thirdparty-extracts.misses"),
+            ..Self::new(hosts)
         }
     }
 
@@ -235,10 +247,10 @@ impl ExtractMemo {
     pub fn get(&self, crawl: &CrawlRecord, include_chained: bool) -> Arc<ThirdPartyExtract> {
         let key: ExtractKey = (crawl.country, crawl.corpus, include_chained);
         if let Some(found) = self.map.read().expect("extract memo lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Arc::clone(found);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let extract = Arc::new(extract_cached(crawl, include_chained, &self.hosts));
         let mut map = self.map.write().expect("extract memo lock");
         Arc::clone(map.entry(key).or_insert(extract))
@@ -247,8 +259,8 @@ impl ExtractMemo {
     /// Hit/miss counters so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
         }
     }
 }

@@ -7,22 +7,34 @@
 //! cargo run --release -p redlight-bench --bin reproduce -- --timings
 //! cargo run --release -p redlight-bench --bin reproduce -- --stage cookies --stage https
 //! cargo run --release -p redlight-bench --bin reproduce -- --net-profile flaky --fault-seed 7
+//! cargo run --release -p redlight-bench --bin reproduce -- --trace out.json --metrics out.prom
 //! ```
 //!
 //! Prints the rendered tables/figures followed by the paper-vs-measured
 //! comparison table that EXPERIMENTS.md records. `--timings` appends the
 //! pipeline instrumentation (per-crawl and per-stage wall times with record
-//! counts, plus transport counters when the network profile meters).
+//! counts, plus transport counters when the network profile meters);
+//! `--timings --json` prints it as JSON instead of tables.
 //! `--stage <name>` (repeatable) runs only the named analysis stages —
 //! dependencies are pulled in automatically — and prints their one-line
 //! summaries plus timings instead of the full report. `--net-profile <name>`
 //! selects the network the crawls run over (`default`, `direct`, `flaky`,
 //! `lossy`); `--fault-seed <n>` re-seeds the profile's fault injector so a
 //! fixed seed replays the exact same network weather.
+//!
+//! Observability exports (any of these turns journaling on; same seed ⇒
+//! byte-identical files):
+//!
+//! * `--trace <path>` — Chrome `trace_event` JSON, loadable in Perfetto.
+//! * `--trace-events <path>` — the span journal as JSON lines.
+//! * `--metrics <path>` — Prometheus-style text exposition of every counter.
+//! * `--collect-only` — stop after the collection layer (no analysis);
+//!   useful for fast smoke runs of the exporters.
 
 use redlight_core::results::StageReport;
 use redlight_core::{stages, Study, StudyConfig, StudyResults};
 use redlight_net::transport::NetProfile;
+use redlight_obs::ObsContext;
 use redlight_report::paper::{self, Comparison};
 use redlight_websim::World;
 
@@ -30,6 +42,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let paper_scale = args.iter().any(|a| a == "--paper");
     let timings = args.iter().any(|a| a == "--timings");
+    let json = args.iter().any(|a| a == "--json");
+    let collect_only = args.iter().any(|a| a == "--collect-only");
     let seed = args
         .iter()
         .position(|a| a == "--seed")
@@ -51,6 +65,15 @@ fn main() {
         .position(|a| a == "--fault-seed")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok());
+    let path_arg = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let trace_out = path_arg("--trace");
+    let events_out = path_arg("--trace-events");
+    let metrics_out = path_arg("--metrics");
 
     let mut config = if paper_scale {
         StudyConfig::paper_scale(seed)
@@ -74,6 +97,14 @@ fn main() {
     }
     let scale = if paper_scale { 1.0 } else { 20.0 };
 
+    // Journaling is opt-in: without an export flag the study runs over the
+    // disabled (zero-overhead) observability context.
+    let obs = if trace_out.is_some() || events_out.is_some() || metrics_out.is_some() {
+        ObsContext::new()
+    } else {
+        ObsContext::disabled()
+    };
+
     eprintln!(
         "running the {} study (seed {seed})…",
         if paper_scale {
@@ -84,13 +115,36 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
 
-    if !requested.is_empty() {
-        run_stages(&config, &requested, timings);
-        eprintln!("done in {:?}", t0.elapsed());
+    if collect_only {
+        let world = World::build(config.world.clone());
+        let (db, crawl_timings) = Study::collect_db_observed(&world, &config, &obs);
+        eprintln!(
+            "collected {} crawls, {} interaction records in {:?}",
+            db.crawls().len(),
+            db.interactions().len(),
+            t0.elapsed()
+        );
+        if timings {
+            let report = StageReport {
+                crawls: crawl_timings,
+                stages: Vec::new(),
+                caches: Vec::new(),
+            };
+            print_timings(&report, json);
+        }
+        export_obs(&obs, &trace_out, &events_out, &metrics_out);
         return;
     }
 
-    let results = Study::run(config);
+    if !requested.is_empty() {
+        run_stages(&config, &requested, timings, json, &obs);
+        eprintln!("done in {:?}", t0.elapsed());
+        export_obs(&obs, &trace_out, &events_out, &metrics_out);
+        return;
+    }
+
+    let world = World::build(config.world.clone());
+    let results = Study::run_on_observed(&world, &config, &obs);
     eprintln!("done in {:?}", t0.elapsed());
 
     println!("{}", results.render_summary());
@@ -99,12 +153,19 @@ fn main() {
         paper::render_comparisons("Paper vs measured", &comparisons(&results, scale))
     );
     if timings {
-        println!("{}", results.render_timings());
+        print_timings(&results.stage_report, json);
     }
+    export_obs(&obs, &trace_out, &events_out, &metrics_out);
 }
 
 /// `--stage` mode: collect the DB once, run only the selected stages.
-fn run_stages(config: &StudyConfig, requested: &[String], timings: bool) {
+fn run_stages(
+    config: &StudyConfig,
+    requested: &[String],
+    timings: bool,
+    json: bool,
+    obs: &ObsContext,
+) {
     let selected = match stages::expand_selection(requested) {
         Ok(s) => s,
         Err(e) => {
@@ -118,9 +179,14 @@ fn run_stages(config: &StudyConfig, requested: &[String], timings: bool) {
     );
 
     let world = World::build(config.world.clone());
-    let (db, crawl_timings) = Study::collect_db(&world, config);
-    let ctx = stages::AnalysisContext::build(&world, config, &db);
-    let (outputs, stage_timings) = stages::run(&db, &ctx, &selected);
+    let (db, crawl_timings) = Study::collect_db_observed(&world, config, obs);
+    let ctx = stages::AnalysisContext::build_in(&world, config, &db, &obs.metrics);
+    let stage_obs = stages::StageObs {
+        trace: &obs.trace,
+        metrics: &obs.metrics,
+        parent: None,
+    };
+    let (outputs, stage_timings) = stages::run_observed(&db, &ctx, &selected, &stage_obs);
 
     for (name, line) in outputs.summaries() {
         println!("{name:<16} {line}");
@@ -131,7 +197,52 @@ fn run_stages(config: &StudyConfig, requested: &[String], timings: bool) {
             stages: stage_timings,
             caches: ctx.cache_counters(),
         };
+        print_timings(&report, json);
+    }
+}
+
+/// Prints the timing report, as tables or (`--json`) as JSON.
+fn print_timings(report: &StageReport, json: bool) {
+    if json {
+        println!("{}", report.to_json());
+    } else {
         println!("\n{}", report.render());
+    }
+}
+
+/// Writes whichever observability exports were requested.
+fn export_obs(
+    obs: &ObsContext,
+    trace: &Option<String>,
+    events: &Option<String>,
+    metrics: &Option<String>,
+) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let journal = obs.trace.journal();
+    if let Some(path) = trace {
+        write_or_die(path, &journal.chrome_trace());
+        eprintln!(
+            "wrote Chrome trace ({} spans) to {path} — load it at ui.perfetto.dev",
+            journal.len()
+        );
+    }
+    if let Some(path) = events {
+        write_or_die(path, &journal.json_lines());
+        eprintln!("wrote span journal ({} events) to {path}", journal.len());
+    }
+    if let Some(path) = metrics {
+        let text = obs.metrics.snapshot().prometheus();
+        write_or_die(path, &text);
+        eprintln!("wrote metrics exposition to {path}");
+    }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
     }
 }
 

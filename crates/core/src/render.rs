@@ -530,9 +530,11 @@ impl StudyResults {
 }
 
 impl crate::results::StageReport {
-    /// Renders the crawl and stage timing tables.
+    /// Renders the crawl and stage timing tables. Numeric columns are
+    /// right-aligned and every duration prints with fixed precision
+    /// (`ms` to 3 decimals, `µs` to 1), so columns line up run to run.
     pub fn render(&self) -> String {
-        let ms = |d: std::time::Duration| format!("{:.2}", d.as_secs_f64() * 1e3);
+        let ms = fmt_ms;
 
         let mut crawls = Table::new(
             "Collection layer — one row per crawl",
@@ -546,7 +548,8 @@ impl crate::results::StageReport {
                 "failed",
                 "wall (ms)",
             ],
-        );
+        )
+        .align_right(&[3, 4, 5, 6, 7]);
         for c in &self.crawls {
             let corpus = c
                 .corpus
@@ -575,7 +578,8 @@ impl crate::results::StageReport {
         let mut stages = Table::new(
             "Analysis layer — one row per stage",
             &["stage", "input records", "output records", "wall (ms)"],
-        );
+        )
+        .align_right(&[1, 2, 3]);
         for s in &self.stages {
             stages.row(&[
                 s.name.to_string(),
@@ -606,7 +610,8 @@ impl crate::results::StageReport {
                     "crawler", "country", "corpus", "requests", "ok", "unreach", "timeout", "5xx",
                     "KiB", "µs/req",
                 ],
-            );
+            )
+            .align_right(&[3, 4, 5, 6, 7, 8, 9]);
             let mut total = redlight_net::transport::TransportStats::default();
             for c in self.crawls.iter().filter(|c| c.net.is_some()) {
                 let stats = c.net.as_ref().expect("filtered");
@@ -646,7 +651,8 @@ impl crate::results::StageReport {
             let mut caches = Table::new(
                 "Shared caches — hit/miss counters",
                 &["cache", "hits", "misses", "hit rate"],
-            );
+            )
+            .align_right(&[1, 2, 3]);
             for c in &self.caches {
                 let total = c.hits + c.misses;
                 let rate = if total == 0 {
@@ -666,6 +672,86 @@ impl crate::results::StageReport {
         }
         out
     }
+}
+
+impl crate::results::StageReport {
+    /// Serializes the report as JSON (`reproduce --timings --json`):
+    /// `{"crawls": [...], "stages": [...], "caches": [...]}` with wall
+    /// times as fixed-precision `wall_ms` floats. Hand-rolled on the
+    /// [`redlight_obs::json`] helpers — no serde in the pipeline.
+    pub fn to_json(&self) -> String {
+        use redlight_obs::json::push_str_literal;
+
+        let mut out = String::from("{\"crawls\":[");
+        for (i, c) in self.crawls.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"crawler\":");
+            push_str_literal(&mut out, c.crawler);
+            out.push_str(",\"country\":");
+            push_str_literal(&mut out, c.country.code());
+            out.push_str(",\"corpus\":");
+            match c.corpus {
+                Some(l) => push_str_literal(&mut out, &format!("{l:?}").to_lowercase()),
+                None => out.push_str("null"),
+            }
+            out.push_str(&format!(
+                ",\"sites\":{},\"attempts\":{},\"retries\":{},\"failures\":{},\"wall_ms\":{:.3}",
+                c.sites,
+                c.attempts,
+                c.retries,
+                c.failures,
+                c.wall.as_secs_f64() * 1e3
+            ));
+            out.push_str(",\"net\":");
+            match &c.net {
+                Some(n) => out.push_str(&format!(
+                    "{{\"requests\":{},\"responses\":{},\"unreachable\":{},\"timeouts\":{},\
+                     \"server_errors\":{},\"redirects\":{},\"body_bytes\":{}}}",
+                    n.requests,
+                    n.responses,
+                    n.unreachable,
+                    n.timeouts,
+                    n.server_errors,
+                    n.redirects,
+                    n.body_bytes
+                )),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str("],\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_str_literal(&mut out, s.name);
+            out.push_str(&format!(
+                ",\"input_records\":{},\"output_records\":{},\"wall_ms\":{:.3}}}",
+                s.input_records,
+                s.output_records,
+                s.wall.as_secs_f64() * 1e3
+            ));
+        }
+        out.push_str("],\"caches\":[");
+        for (i, c) in self.caches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_str_literal(&mut out, c.name);
+            out.push_str(&format!(",\"hits\":{},\"misses\":{}}}", c.hits, c.misses));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Fixed-precision milliseconds (3 decimals) for the timing tables.
+fn fmt_ms(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
 }
 
 fn tick(b: bool) -> String {

@@ -45,6 +45,7 @@ use redlight_crawler::corpus::{CorpusCompiler, CorpusReport};
 use redlight_crawler::db::{CorpusLabel, CrawlRecord, InteractionRecord, MeasurementDb};
 use redlight_net::geoip::Country;
 use redlight_net::psl::HostCache;
+use redlight_obs::{Registry, SpanLink, Trace};
 use redlight_rankings::{PopularityTier, RankHistory};
 use redlight_websim::oracle::InspectionOracle;
 use redlight_websim::World;
@@ -234,6 +235,19 @@ impl<'a> AnalysisContext<'a> {
     /// Panics if the DB lacks the Spanish porn/regular crawls — the plan
     /// produced by [`StudyConfig::crawl_plan`] always records them.
     pub fn build(world: &'a World, config: &StudyConfig, db: &'a MeasurementDb) -> Self {
+        Self::build_in(world, config, db, &Registry::new())
+    }
+
+    /// [`build`](Self::build) with every shared cache (eTLD+1 hosts, ATS
+    /// verdicts, third-party extracts, the cert harvest) publishing its
+    /// hit/miss counters as `cache.<name>.{hits,misses}` into `registry`.
+    /// The derived artifacts are identical to [`build`].
+    pub fn build_in(
+        world: &'a World,
+        config: &StudyConfig,
+        db: &'a MeasurementDb,
+        registry: &Registry,
+    ) -> Self {
         let corpus = CorpusCompiler::new(world).compile();
         let (porn_histories, best_ranks, ranked) = ranked_corpus(world, &corpus.sanitized);
         let tier_of = popularity::tiers_from_histories(&porn_histories);
@@ -245,10 +259,14 @@ impl<'a> AnalysisContext<'a> {
         let regular_es = db
             .crawl(Country::Spain, CorpusLabel::Regular)
             .expect("Spanish regular crawl recorded");
-        let hosts = Arc::new(HostCache::new());
-        let classifier =
-            ats::AtsClassifier::with_hosts(&world.easylist, &world.easyprivacy, Arc::clone(&hosts));
-        let extracts = ExtractMemo::new(Arc::clone(&hosts));
+        let hosts = Arc::new(HostCache::in_registry(registry));
+        let classifier = ats::AtsClassifier::with_hosts_in(
+            &world.easylist,
+            &world.easyprivacy,
+            Arc::clone(&hosts),
+            registry,
+        );
+        let extracts = ExtractMemo::in_registry(Arc::clone(&hosts), registry);
         let porn_extract = extracts.get(porn_es, true);
         let regular_extract = extracts.get(regular_es, true);
         // Out-of-band TLS probe: connect to port 443 of any contacted FQDN
@@ -257,7 +275,7 @@ impl<'a> AnalysisContext<'a> {
             world.resolve_host(host)?;
             Some((&world.cert_for_host(host)).into())
         };
-        let cert_harvest = CertHarvest::collect(&[porn_es, regular_es], Some(&probe));
+        let cert_harvest = CertHarvest::collect_in(&[porn_es, regular_es], Some(&probe), registry);
         let cookie_rows = cookies::collect(porn_es);
         let interactions_es: Vec<InteractionRecord> =
             db.interactions_in(Country::Spain).cloned().collect();
@@ -568,6 +586,50 @@ fn timed<T>(name: &'static str, body: impl FnOnce() -> (T, usize, usize)) -> (T,
     )
 }
 
+/// Telemetry sinks for an analysis run: stage spans go into `trace` (one
+/// `analyze/<stage>` shard per stage, so concurrent wave-A stages never
+/// contend), stage counters into `metrics`.
+pub struct StageObs<'t> {
+    /// Journal the per-stage spans are recorded into.
+    pub trace: &'t Trace,
+    /// Registry the per-stage record counters are published into.
+    pub metrics: &'t Registry,
+    /// Parent span every stage span hangs under (the `analyze` span).
+    pub parent: Option<SpanLink>,
+}
+
+/// [`timed`], plus a `stage.<name>` span in a dedicated `analyze/<name>`
+/// shard and `stage.<name>.{input,output}_records` counters. Safe to call
+/// concurrently from wave threads: each stage owns its shard, and the
+/// registry is lock-protected.
+fn observed<T>(
+    obs: &StageObs<'_>,
+    name: &'static str,
+    body: impl FnOnce() -> (T, usize, usize),
+) -> (T, StageTiming) {
+    let shard = format!("analyze/{name}");
+    let mut tracer = match &obs.parent {
+        Some(link) => obs.trace.tracer_under(&shard, link.clone()),
+        None => obs.trace.tracer(&shard),
+    };
+    tracer.open(&format!("stage.{name}"));
+    let (out, timing) = timed(name, body);
+    tracer.attr("input_records", timing.input_records);
+    tracer.attr("output_records", timing.output_records);
+    tracer.close();
+    tracer.finish();
+    obs.metrics
+        .counter(&format!("stage.{name}.input_records"))
+        .add(timing.input_records as u64);
+    obs.metrics
+        .counter(&format!("stage.{name}.output_records"))
+        .add(timing.output_records as u64);
+    obs.metrics
+        .histogram("stage.output_records")
+        .record(timing.output_records as u64);
+    (out, timing)
+}
+
 /// Runs the selected stages (a set produced by [`expand_selection`] or
 /// [`all_stages`]) in dependency waves, independent stages concurrently.
 /// Returns the outputs plus one timing per executed stage, in paper order.
@@ -576,6 +638,31 @@ pub fn run(
     ctx: &AnalysisContext<'_>,
     selected: &BTreeSet<&'static str>,
 ) -> (StageOutputs, Vec<StageTiming>) {
+    let trace = Trace::disabled();
+    let registry = Registry::new();
+    run_observed(
+        db,
+        ctx,
+        selected,
+        &StageObs {
+            trace: &trace,
+            metrics: &registry,
+            parent: None,
+        },
+    )
+}
+
+/// [`run`] with telemetry: every executed stage records a `stage.<name>`
+/// span (with record-count attributes) and publishes
+/// `stage.<name>.{input,output}_records` counters plus a shared
+/// `stage.output_records` histogram. Outputs and timings are identical to
+/// [`run`].
+pub fn run_observed(
+    db: &MeasurementDb,
+    ctx: &AnalysisContext<'_>,
+    selected: &BTreeSet<&'static str>,
+    obs: &StageObs<'_>,
+) -> (StageOutputs, Vec<StageTiming>) {
     let mut outputs = StageOutputs::default();
     let mut timings: Vec<StageTiming> = Vec::new();
     let want = |name: &'static str| selected.contains(name);
@@ -583,28 +670,32 @@ pub fn run(
     // ---- Wave A: the 14 independent stages. ----
     crossbeam::thread::scope(|s| {
         let h_corpus = want(CORPUS_SUMMARY)
-            .then(|| s.spawn(|_| timed(CORPUS_SUMMARY, || stage_corpus_summary(ctx))));
-        let h_popularity =
-            want(POPULARITY).then(|| s.spawn(|_| timed(POPULARITY, || stage_popularity(ctx))));
+            .then(|| s.spawn(|_| observed(obs, CORPUS_SUMMARY, || stage_corpus_summary(ctx))));
+        let h_popularity = want(POPULARITY)
+            .then(|| s.spawn(|_| observed(obs, POPULARITY, || stage_popularity(ctx))));
         let h_third = want(THIRD_PARTIES)
-            .then(|| s.spawn(|_| timed(THIRD_PARTIES, || stage_third_parties(ctx))));
+            .then(|| s.spawn(|_| observed(obs, THIRD_PARTIES, || stage_third_parties(ctx))));
         let h_orgs = want(ORGANIZATIONS)
-            .then(|| s.spawn(|_| timed(ORGANIZATIONS, || stage_organizations(ctx))));
-        let h_cookies = want(COOKIES).then(|| s.spawn(|_| timed(COOKIES, || stage_cookies(ctx))));
-        let h_sync =
-            want(COOKIE_SYNC).then(|| s.spawn(|_| timed(COOKIE_SYNC, || stage_cookie_sync(ctx))));
-        let h_webrtc = want(WEBRTC).then(|| s.spawn(|_| timed(WEBRTC, || stage_webrtc(ctx))));
-        let h_https = want(HTTPS).then(|| s.spawn(|_| timed(HTTPS, || stage_https(ctx))));
-        let h_malware = want(MALWARE).then(|| s.spawn(|_| timed(MALWARE, || stage_malware(ctx))));
-        let h_geo = want(GEO).then(|| s.spawn(|_| timed(GEO, || stage_geo(db, ctx))));
-        let h_banners = want(CONSENT_BANNERS)
-            .then(|| s.spawn(|_| timed(CONSENT_BANNERS, || stage_consent_banners(db, ctx))));
+            .then(|| s.spawn(|_| observed(obs, ORGANIZATIONS, || stage_organizations(ctx))));
+        let h_cookies =
+            want(COOKIES).then(|| s.spawn(|_| observed(obs, COOKIES, || stage_cookies(ctx))));
+        let h_sync = want(COOKIE_SYNC)
+            .then(|| s.spawn(|_| observed(obs, COOKIE_SYNC, || stage_cookie_sync(ctx))));
+        let h_webrtc =
+            want(WEBRTC).then(|| s.spawn(|_| observed(obs, WEBRTC, || stage_webrtc(ctx))));
+        let h_https = want(HTTPS).then(|| s.spawn(|_| observed(obs, HTTPS, || stage_https(ctx))));
+        let h_malware =
+            want(MALWARE).then(|| s.spawn(|_| observed(obs, MALWARE, || stage_malware(ctx))));
+        let h_geo = want(GEO).then(|| s.spawn(|_| observed(obs, GEO, || stage_geo(db, ctx))));
+        let h_banners = want(CONSENT_BANNERS).then(|| {
+            s.spawn(|_| observed(obs, CONSENT_BANNERS, || stage_consent_banners(db, ctx)))
+        });
         let h_policies =
-            want(POLICIES).then(|| s.spawn(|_| timed(POLICIES, || stage_policies(ctx))));
+            want(POLICIES).then(|| s.spawn(|_| observed(obs, POLICIES, || stage_policies(ctx))));
         let h_monetization = want(MONETIZATION)
-            .then(|| s.spawn(|_| timed(MONETIZATION, || stage_monetization(ctx))));
-        let h_gates =
-            want(AGE_GATES).then(|| s.spawn(|_| timed(AGE_GATES, || stage_age_gates(db, ctx))));
+            .then(|| s.spawn(|_| observed(obs, MONETIZATION, || stage_monetization(ctx))));
+        let h_gates = want(AGE_GATES)
+            .then(|| s.spawn(|_| observed(obs, AGE_GATES, || stage_age_gates(db, ctx))));
 
         let join = "stage thread panicked";
         if let Some(h) = h_corpus {
@@ -687,13 +778,13 @@ pub fn run(
         let h_fp = want(FINGERPRINTING).then(|| {
             s.spawn(move |_| {
                 let rtc = rtc.as_ref().expect("webrtc ran (dependency)");
-                timed(FINGERPRINTING, || stage_fingerprinting(ctx, rtc))
+                observed(obs, FINGERPRINTING, || stage_fingerprinting(ctx, rtc))
             })
         });
         let h_owners = want(OWNERSHIP).then(|| {
             s.spawn(move |_| {
                 let (docs, _) = docs.as_ref().expect("policies ran (dependency)");
-                timed(OWNERSHIP, || stage_ownership(ctx, docs))
+                observed(obs, OWNERSHIP, || stage_ownership(ctx, docs))
             })
         });
 
@@ -724,7 +815,7 @@ pub fn run(
     if want(DISCLOSURE) {
         let (fp, _) = outputs.fingerprinting.as_ref().expect("fingerprinting ran");
         let (docs, _) = outputs.policies.as_ref().expect("policies ran");
-        let (out, t) = timed(DISCLOSURE, || stage_disclosure(ctx, fp, docs));
+        let (out, t) = observed(obs, DISCLOSURE, || stage_disclosure(ctx, fp, docs));
         outputs.disclosure = Some(out);
         timings.push(t);
     }

@@ -20,15 +20,17 @@
 use redlight_crawler::corpus::CorpusCompiler;
 use redlight_crawler::db::{CorpusLabel, MeasurementDb};
 use redlight_crawler::openwpm::CrawlConfig;
+use redlight_crawler::parallel::CrawlObs;
 use redlight_crawler::plan::{
     CrawlPlan, CrawlSpec, CrawlTiming, DomainSel, InteractionSpec, PlanDomains,
 };
 use redlight_net::geoip::Country;
 use redlight_net::transport::NetProfile;
+use redlight_obs::ObsContext;
 use redlight_websim::{World, WorldConfig};
 
 use crate::results::{StageReport, StudyResults};
-use crate::stages::{self, AnalysisContext, GATE_COUNTRIES};
+use crate::stages::{self, AnalysisContext, StageObs, GATE_COUNTRIES};
 
 /// Study parameters.
 #[derive(Debug, Clone)]
@@ -156,17 +158,48 @@ impl Study {
     /// literal first half of [`Study::run_on`]; downstream consumers that
     /// want to run their own analyses call it and read the tables.
     pub fn collect_db(world: &World, config: &StudyConfig) -> (MeasurementDb, Vec<CrawlTiming>) {
+        Self::collect_db_observed(world, config, &ObsContext::disabled())
+    }
+
+    /// [`collect_db`](Self::collect_db) with telemetry: records a `collect`
+    /// root span (one `corpus.compile` child, then per-crawl subtrees in
+    /// per-worker shards) into `obs.trace` and publishes every transport
+    /// and crawl counter into `obs.metrics`. The db and timings are
+    /// byte-identical to the unobserved path.
+    pub fn collect_db_observed(
+        world: &World,
+        config: &StudyConfig,
+        obs: &ObsContext,
+    ) -> (MeasurementDb, Vec<CrawlTiming>) {
+        let mut tracer = obs.trace.tracer("collect");
+        tracer.open("collect");
+
+        tracer.open("corpus.compile");
         let corpus = CorpusCompiler::new(world).compile();
         let (_, _, ranked) = stages::ranked_corpus(world, &corpus.sanitized);
         let top: Vec<String> = ranked.into_iter().take(config.agegate_top_n).collect();
-        config.crawl_plan().execute(
+        tracer.attr("candidates", corpus.candidates.len());
+        tracer.attr("sanitized", corpus.sanitized.len());
+        tracer.close();
+
+        let crawl_obs = CrawlObs {
+            trace: obs.trace.clone(),
+            metrics: obs.metrics.clone(),
+            parent: tracer.link(),
+        };
+        let (db, timings) = config.crawl_plan().execute_observed(
             world,
             PlanDomains {
                 porn: &corpus.sanitized,
                 regular: &corpus.reference_regular,
                 agegate_top: &top,
             },
-        )
+            &crawl_obs,
+        );
+        tracer.attr("crawls", timings.len());
+        tracer.close();
+        tracer.finish();
+        (db, timings)
     }
 
     /// Runs the full pipeline and returns every table/figure.
@@ -178,12 +211,35 @@ impl Study {
     /// Runs the pipeline on an existing world (lets callers keep the world
     /// for validation against ground truth).
     pub fn run_on(world: &World, config: &StudyConfig) -> StudyResults {
+        Self::run_on_observed(world, config, &ObsContext::disabled())
+    }
+
+    /// [`run_on`](Self::run_on) with telemetry: the collection layer
+    /// journals under a `collect` root span, the analysis layer under an
+    /// `analyze` root (one `context.build` child plus a `stage.<name>`
+    /// span per stage), and every transport/cache/stage counter lands in
+    /// `obs.metrics`. Results are byte-identical to [`run_on`].
+    pub fn run_on_observed(world: &World, config: &StudyConfig, obs: &ObsContext) -> StudyResults {
         // Layer 1: collect every crawl into the measurement DB.
-        let (db, crawl_timings) = Self::collect_db(world, config);
+        let (db, crawl_timings) = Self::collect_db_observed(world, config, obs);
 
         // Layer 2: derive shared artifacts, then run all analysis stages.
-        let ctx = AnalysisContext::build(world, config, &db);
-        let (outputs, stage_timings) = stages::run(&db, &ctx, &stages::all_stages());
+        let mut tracer = obs.trace.tracer("analyze");
+        tracer.open("analyze");
+        tracer.open("context.build");
+        let ctx = AnalysisContext::build_in(world, config, &db, &obs.metrics);
+        tracer.attr("corpus_sanitized", ctx.corpus.sanitized.len());
+        tracer.close();
+        let stage_obs = StageObs {
+            trace: &obs.trace,
+            metrics: &obs.metrics,
+            parent: tracer.link(),
+        };
+        let (outputs, stage_timings) =
+            stages::run_observed(&db, &ctx, &stages::all_stages(), &stage_obs);
+        tracer.attr("stages", stage_timings.len());
+        tracer.close();
+        tracer.finish();
 
         // Layer 3: assemble results with the instrumentation report.
         let best_ranks = ctx.best_ranks.clone();

@@ -20,10 +20,14 @@ use redlight_browser::Browser;
 use redlight_net::geoip::Country;
 use redlight_net::transport::{BrowserKind, NetProfile, TransportMeter, TransportStats};
 use redlight_net::url::Url;
+use redlight_obs::{Registry, Trace, Tracer};
 use redlight_websim::server::WebServer;
 use redlight_websim::World;
 
 use crate::db::{CorpusLabel, CrawlRecord, SiteVisitRecord};
+
+/// Sites per `visits.NNN` batch span in the crawl journal.
+pub const VISIT_BATCH: usize = 25;
 
 /// Crawl configuration.
 #[derive(Debug, Clone)]
@@ -69,43 +73,99 @@ impl<'w> OpenWpmCrawler<'w> {
     /// Like [`crawl`](Self::crawl), but also returns the transport-layer
     /// counters when the profile meters (`None` on bare stacks).
     pub fn crawl_metered(&self, domains: &[String]) -> (CrawlRecord, Option<TransportStats>) {
+        let trace = Trace::disabled();
+        let mut tracer = trace.tracer("crawl");
+        self.crawl_observed(domains, &mut tracer, &Registry::new())
+    }
+
+    /// [`crawl_metered`](Self::crawl_metered) with telemetry: the crawl
+    /// records a `crawl.openwpm.<country>.<corpus>` span with one
+    /// `visits.NNN` child per [`VISIT_BATCH`] sites into `tracer`, and
+    /// publishes `transport.*` counters, `transport.retries`,
+    /// `crawl.failed_visits` and the `crawl.attempts` /
+    /// `crawl.requests_per_visit` histograms into `registry`. Crawl
+    /// results are byte-identical to the unobserved path.
+    pub fn crawl_observed(
+        &self,
+        domains: &[String],
+        tracer: &mut Tracer,
+        registry: &Registry,
+    ) -> (CrawlRecord, Option<TransportStats>) {
         let ctx = Browser::context_for(self.world, self.config.country, BrowserKind::OpenWpm);
         let client_ip = ctx.client_ip;
-        let meter = TransportMeter::new();
-        let transport = self.net.stack(WebServer::new(self.world), &meter);
+        let meter = TransportMeter::in_registry(registry);
+        let transport = self
+            .net
+            .stack_in(WebServer::new(self.world), &meter, registry);
         let mut browser = Browser::with_transport(transport, ctx);
 
+        let retries = registry.counter("transport.retries");
+        let failed_visits = registry.counter("crawl.failed_visits");
+        let attempts_hist = registry.histogram("crawl.attempts");
+        let requests_hist = registry.histogram("crawl.requests_per_visit");
+
+        tracer.open(&format!(
+            "crawl.openwpm.{}.{}",
+            self.config.country.code().to_ascii_lowercase(),
+            corpus_slug(self.config.corpus),
+        ));
+        tracer.attr("sites", domains.len());
+        tracer.attr("store_dom", self.config.store_dom);
+
         let mut visits = Vec::with_capacity(domains.len());
-        for domain in domains {
-            let started = Instant::now();
-            let Ok(url) = Url::parse(&format!("https://{domain}/")) else {
-                // A corpus entry that never parses still costs a visit slot:
-                // dropping it here would silently shrink the crawl and skew
-                // every per-corpus denominator downstream.
+        for (batch_idx, batch) in domains.chunks(VISIT_BATCH).enumerate() {
+            tracer.open(&format!("visits.{batch_idx:03}"));
+            let mut batch_attempts = 0u64;
+            let mut batch_failures = 0u64;
+            for domain in batch {
+                let started = Instant::now();
+                let Ok(url) = Url::parse(&format!("https://{domain}/")) else {
+                    // A corpus entry that never parses still costs a visit
+                    // slot: dropping it here would silently shrink the crawl
+                    // and skew every per-corpus denominator downstream.
+                    visits.push(SiteVisitRecord {
+                        domain: domain.clone(),
+                        visit: unparsable_visit(),
+                        attempts: 0,
+                        wall: started.elapsed(),
+                    });
+                    attempts_hist.record(0);
+                    requests_hist.record(0);
+                    failed_visits.inc();
+                    batch_failures += 1;
+                    continue;
+                };
+                let mut attempts = 1u32;
+                let mut visit = browser.visit(&url);
+                while !visit.success && attempts < self.net.retry.max_attempts {
+                    attempts += 1;
+                    visit = browser.visit(&url);
+                }
+                retries.add(attempts.saturating_sub(1) as u64);
+                attempts_hist.record(attempts as u64);
+                requests_hist.record(visit.requests.len() as u64);
+                batch_attempts += attempts as u64;
+                if !visit.success {
+                    failed_visits.inc();
+                    batch_failures += 1;
+                }
+                if !self.config.store_dom {
+                    visit.dom_html = String::new();
+                }
                 visits.push(SiteVisitRecord {
                     domain: domain.clone(),
-                    visit: unparsable_visit(),
-                    attempts: 0,
+                    visit,
+                    attempts,
                     wall: started.elapsed(),
                 });
-                continue;
-            };
-            let mut attempts = 1u32;
-            let mut visit = browser.visit(&url);
-            while !visit.success && attempts < self.net.retry.max_attempts {
-                attempts += 1;
-                visit = browser.visit(&url);
             }
-            if !self.config.store_dom {
-                visit.dom_html = String::new();
-            }
-            visits.push(SiteVisitRecord {
-                domain: domain.clone(),
-                visit,
-                attempts,
-                wall: started.elapsed(),
-            });
+            tracer.attr("sites", batch.len());
+            tracer.attr("attempts", batch_attempts);
+            tracer.attr("failures", batch_failures);
+            tracer.close();
         }
+        tracer.close();
+
         let stats = self.net.metered.then(|| meter.snapshot());
         (
             CrawlRecord {
@@ -116,6 +176,14 @@ impl<'w> OpenWpmCrawler<'w> {
             },
             stats,
         )
+    }
+}
+
+/// Lower-case label for span/metric names.
+pub(crate) fn corpus_slug(corpus: CorpusLabel) -> &'static str {
+    match corpus {
+        CorpusLabel::Porn => "porn",
+        CorpusLabel::Regular => "regular",
     }
 }
 

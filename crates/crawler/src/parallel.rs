@@ -14,11 +14,38 @@ use std::time::{Duration, Instant};
 
 use redlight_net::geoip::Country;
 use redlight_net::transport::{NetProfile, TransportStats};
+use redlight_obs::{Registry, SpanLink, Trace};
 use redlight_websim::World;
 
 use crate::db::{CorpusLabel, CrawlRecord, InteractionRecord};
-use crate::openwpm::{CrawlConfig, OpenWpmCrawler};
+use crate::openwpm::{corpus_slug, CrawlConfig, OpenWpmCrawler};
 use crate::selenium::SeleniumCrawler;
+
+/// The telemetry plumbing a batch of crawl jobs records into: each worker
+/// gets its own tracer shard (named by job index, so shard names — and the
+/// merged journal — never depend on thread scheduling) and its own scratch
+/// [`Registry`], whose snapshot is absorbed into `metrics` in job order
+/// after the pool joins.
+#[derive(Debug, Clone)]
+pub struct CrawlObs {
+    /// Span collector shared with the study.
+    pub trace: Trace,
+    /// Study-wide registry worker snapshots fold into.
+    pub metrics: Registry,
+    /// Span the per-crawl shards hang under (the study's `collect` span).
+    pub parent: Option<SpanLink>,
+}
+
+impl CrawlObs {
+    /// The no-op plumbing the unobserved entry points run with.
+    pub fn disabled() -> Self {
+        CrawlObs {
+            trace: Trace::disabled(),
+            metrics: Registry::new(),
+            parent: None,
+        }
+    }
+}
 
 /// One OpenWPM-style crawl job: a full crawler configuration plus the
 /// domain list it sweeps and the network it runs over.
@@ -50,7 +77,20 @@ pub struct JobOutcome<R> {
 /// Runs heterogeneous OpenWPM-style crawl jobs concurrently, returning each
 /// record with its instrumentation, in job order.
 pub fn run_crawl_jobs(world: &World, jobs: &[CrawlJob<'_>]) -> Vec<JobOutcome<CrawlRecord>> {
-    let mut slots: Vec<Option<JobOutcome<CrawlRecord>>> = Vec::new();
+    run_crawl_jobs_observed(world, jobs, &CrawlObs::disabled())
+}
+
+/// [`run_crawl_jobs`] with telemetry: worker `i` records into the
+/// `collect/openwpm.II.<country>.<corpus>` shard and a scratch registry;
+/// scratch snapshots are absorbed into `obs.metrics` in job order, so the
+/// study-wide counters are deterministic for a given plan and seed.
+pub fn run_crawl_jobs_observed(
+    world: &World,
+    jobs: &[CrawlJob<'_>],
+    obs: &CrawlObs,
+) -> Vec<JobOutcome<CrawlRecord>> {
+    let mut slots: Vec<Option<(JobOutcome<CrawlRecord>, redlight_obs::MetricsSnapshot)>> =
+        Vec::new();
     slots.resize_with(jobs.len(), || None);
 
     crossbeam::thread::scope(|scope| {
@@ -59,17 +99,29 @@ pub fn run_crawl_jobs(world: &World, jobs: &[CrawlJob<'_>]) -> Vec<JobOutcome<Cr
             handles.push((
                 i,
                 scope.spawn(move |_| {
+                    let shard = format!(
+                        "collect/openwpm.{i:02}.{}.{}",
+                        job.config.country.code().to_ascii_lowercase(),
+                        corpus_slug(job.config.corpus),
+                    );
+                    let mut tracer = match obs.parent.clone() {
+                        Some(parent) => obs.trace.tracer_under(&shard, parent),
+                        None => obs.trace.tracer(&shard),
+                    };
+                    let registry = Registry::new();
                     let start = Instant::now();
                     let (record, transport) = OpenWpmCrawler::new(world, job.config.clone())
                         .with_net(job.net.clone())
-                        .crawl_metered(job.domains);
-                    JobOutcome {
+                        .crawl_observed(job.domains, &mut tracer, &registry);
+                    tracer.finish();
+                    let outcome = JobOutcome {
                         wall: start.elapsed(),
                         transport,
                         attempts: record.total_attempts(),
                         retries: record.total_retries(),
                         output: record,
-                    }
+                    };
+                    (outcome, registry.snapshot())
                 }),
             ));
         }
@@ -79,7 +131,14 @@ pub fn run_crawl_jobs(world: &World, jobs: &[CrawlJob<'_>]) -> Vec<JobOutcome<Cr
     })
     .expect("crossbeam scope");
 
-    slots.into_iter().map(|s| s.expect("filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| {
+            let (outcome, snapshot) = s.expect("filled");
+            obs.metrics.absorb(&snapshot);
+            outcome
+        })
+        .collect()
 }
 
 /// One Selenium-style interaction crawl job.
@@ -99,7 +158,23 @@ pub fn run_interaction_jobs(
     world: &World,
     jobs: &[InteractionJob<'_>],
 ) -> Vec<JobOutcome<Vec<InteractionRecord>>> {
-    let mut slots: Vec<Option<JobOutcome<Vec<InteractionRecord>>>> = Vec::new();
+    run_interaction_jobs_observed(world, jobs, &CrawlObs::disabled())
+}
+
+/// [`run_interaction_jobs`] with telemetry: worker `i` records into the
+/// `collect/selenium.II.<country>` shard; scratch registries are absorbed
+/// in job order, exactly like [`run_crawl_jobs_observed`].
+pub fn run_interaction_jobs_observed(
+    world: &World,
+    jobs: &[InteractionJob<'_>],
+    obs: &CrawlObs,
+) -> Vec<JobOutcome<Vec<InteractionRecord>>> {
+    let mut slots: Vec<
+        Option<(
+            JobOutcome<Vec<InteractionRecord>>,
+            redlight_obs::MetricsSnapshot,
+        )>,
+    > = Vec::new();
     slots.resize_with(jobs.len(), || None);
 
     crossbeam::thread::scope(|scope| {
@@ -108,17 +183,28 @@ pub fn run_interaction_jobs(
             handles.push((
                 i,
                 scope.spawn(move |_| {
+                    let shard = format!(
+                        "collect/selenium.{i:02}.{}",
+                        job.country.code().to_ascii_lowercase()
+                    );
+                    let mut tracer = match obs.parent.clone() {
+                        Some(parent) => obs.trace.tracer_under(&shard, parent),
+                        None => obs.trace.tracer(&shard),
+                    };
+                    let registry = Registry::new();
                     let start = Instant::now();
                     let crawl = SeleniumCrawler::new(world, job.country)
                         .with_net(job.net.clone())
-                        .crawl_metered(job.domains);
-                    JobOutcome {
+                        .crawl_observed(job.domains, &mut tracer, &registry);
+                    tracer.finish();
+                    let outcome = JobOutcome {
                         wall: start.elapsed(),
                         transport: crawl.transport,
                         attempts: crawl.attempts,
                         retries: crawl.retries,
                         output: crawl.records,
-                    }
+                    };
+                    (outcome, registry.snapshot())
                 }),
             ));
         }
@@ -128,7 +214,14 @@ pub fn run_interaction_jobs(
     })
     .expect("crossbeam scope");
 
-    slots.into_iter().map(|s| s.expect("filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| {
+            let (outcome, snapshot) = s.expect("filled");
+            obs.metrics.absorb(&snapshot);
+            outcome
+        })
+        .collect()
 }
 
 /// Runs one OpenWPM-style crawl per country concurrently over a default

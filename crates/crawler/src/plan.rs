@@ -16,8 +16,10 @@ use redlight_net::transport::{NetProfile, TransportStats};
 use redlight_websim::World;
 
 use crate::db::{CorpusLabel, MeasurementDb};
-use crate::openwpm::CrawlConfig;
-use crate::parallel::{run_crawl_jobs, run_interaction_jobs, CrawlJob, InteractionJob};
+use crate::openwpm::{corpus_slug, CrawlConfig};
+use crate::parallel::{
+    run_crawl_jobs_observed, run_interaction_jobs_observed, CrawlJob, CrawlObs, InteractionJob,
+};
 
 /// Which domain list a planned crawl sweeps. Selectors are resolved at
 /// execution time, so a plan can be built before the corpus is compiled.
@@ -116,6 +118,22 @@ impl CrawlPlan {
         world: &World,
         domains: PlanDomains<'_>,
     ) -> (MeasurementDb, Vec<CrawlTiming>) {
+        self.execute_observed(world, domains, &CrawlObs::disabled())
+    }
+
+    /// [`execute`](Self::execute) with telemetry: every crawl records its
+    /// span tree into a per-worker journal shard and publishes its
+    /// transport/cache counters into `obs.metrics`, plus one
+    /// `crawl.<crawler>.<country>[.<corpus>].{sites,attempts,retries,failures}`
+    /// counter group per executed crawl — the same numbers the returned
+    /// [`CrawlTiming`]s carry, so the timing rows are a view over the
+    /// registry. The db and timings are byte-identical to [`execute`].
+    pub fn execute_observed(
+        &self,
+        world: &World,
+        domains: PlanDomains<'_>,
+        obs: &CrawlObs,
+    ) -> (MeasurementDb, Vec<CrawlTiming>) {
         let crawl_jobs: Vec<CrawlJob<'_>> = self
             .openwpm
             .iter()
@@ -137,9 +155,9 @@ impl CrawlPlan {
 
         let mut db = MeasurementDb::new();
         let mut timings = Vec::with_capacity(crawl_jobs.len() + interaction_jobs.len());
-        for job in run_crawl_jobs(world, &crawl_jobs) {
+        for job in run_crawl_jobs_observed(world, &crawl_jobs, obs) {
             let record = job.output;
-            timings.push(CrawlTiming {
+            let timing = CrawlTiming {
                 crawler: "openwpm",
                 country: record.country,
                 corpus: Some(record.corpus),
@@ -149,16 +167,18 @@ impl CrawlPlan {
                 failures: record.failure_count() as u64,
                 wall: job.wall,
                 net: job.transport,
-            });
+            };
+            publish_timing(obs, &timing);
+            timings.push(timing);
             db.push_crawl(record);
         }
-        for (spec, job) in self
-            .interactions
-            .iter()
-            .zip(run_interaction_jobs(world, &interaction_jobs))
-        {
+        for (spec, job) in self.interactions.iter().zip(run_interaction_jobs_observed(
+            world,
+            &interaction_jobs,
+            obs,
+        )) {
             let records = job.output;
-            timings.push(CrawlTiming {
+            let timing = CrawlTiming {
                 crawler: "selenium",
                 country: spec.country,
                 corpus: None,
@@ -168,10 +188,33 @@ impl CrawlPlan {
                 failures: records.iter().filter(|r| !r.reachable).count() as u64,
                 wall: job.wall,
                 net: job.transport,
-            });
+            };
+            publish_timing(obs, &timing);
+            timings.push(timing);
             db.push_interactions(records);
         }
         (db, timings)
+    }
+}
+
+/// Mirrors one crawl's [`CrawlTiming`] into per-crawl registry counters.
+fn publish_timing(obs: &CrawlObs, t: &CrawlTiming) {
+    let mut prefix = format!(
+        "crawl.{}.{}",
+        t.crawler,
+        t.country.code().to_ascii_lowercase()
+    );
+    if let Some(corpus) = t.corpus {
+        prefix.push('.');
+        prefix.push_str(corpus_slug(corpus));
+    }
+    for (field, value) in [
+        ("sites", t.sites as u64),
+        ("attempts", t.attempts),
+        ("retries", t.retries),
+        ("failures", t.failures),
+    ] {
+        obs.metrics.counter(&format!("{prefix}.{field}")).add(value);
     }
 }
 

@@ -17,11 +17,13 @@ use redlight_net::geoip::Country;
 use redlight_net::http::ResourceKind;
 use redlight_net::transport::{BrowserKind, NetProfile, TransportMeter, TransportStats};
 use redlight_net::url::Url;
+use redlight_obs::{Registry, Trace, Tracer};
 use redlight_text::lang;
 use redlight_websim::server::WebServer;
 use redlight_websim::World;
 
 use crate::db::InteractionRecord;
+use crate::openwpm::VISIT_BATCH;
 
 /// One interaction crawl's output plus its network bookkeeping.
 #[derive(Debug)]
@@ -68,21 +70,67 @@ impl<'w> SeleniumCrawler<'w> {
     /// Like [`crawl`](Self::crawl), but keeps the transport counters and
     /// per-crawl attempt totals alongside the records.
     pub fn crawl_metered(&self, domains: &[String]) -> InteractionCrawl {
+        let trace = Trace::disabled();
+        let mut tracer = trace.tracer("crawl");
+        self.crawl_observed(domains, &mut tracer, &Registry::new())
+    }
+
+    /// [`crawl_metered`](Self::crawl_metered) with telemetry: records a
+    /// `crawl.selenium.<country>` span with `visits.NNN` batch children
+    /// into `tracer` and publishes `transport.*` counters,
+    /// `transport.retries`, `crawl.unreachable_sites` and the
+    /// `crawl.attempts` histogram into `registry`. Records are
+    /// byte-identical to the unobserved path.
+    pub fn crawl_observed(
+        &self,
+        domains: &[String],
+        tracer: &mut Tracer,
+        registry: &Registry,
+    ) -> InteractionCrawl {
         let ctx = Browser::context_for(self.world, self.country, BrowserKind::Selenium);
-        let meter = TransportMeter::new();
-        let transport = self.net.stack(WebServer::new(self.world), &meter);
+        let meter = TransportMeter::in_registry(registry);
+        let transport = self
+            .net
+            .stack_in(WebServer::new(self.world), &meter, registry);
         let mut browser = Browser::with_transport(transport, ctx);
+
+        let retry_counter = registry.counter("transport.retries");
+        let unreachable = registry.counter("crawl.unreachable_sites");
+        let attempts_hist = registry.histogram("crawl.attempts");
+
+        tracer.open(&format!(
+            "crawl.selenium.{}",
+            self.country.code().to_ascii_lowercase()
+        ));
+        tracer.attr("sites", domains.len());
+
         let mut attempts_total = 0u64;
         let mut retries = 0u64;
-        let records = domains
-            .iter()
-            .map(|d| {
+        let mut records = Vec::with_capacity(domains.len());
+        for (batch_idx, batch) in domains.chunks(VISIT_BATCH).enumerate() {
+            tracer.open(&format!("visits.{batch_idx:03}"));
+            let mut batch_attempts = 0u64;
+            let mut batch_failures = 0u64;
+            for d in batch {
                 let (record, attempts) = self.crawl_site(&mut browser, d);
                 attempts_total += attempts as u64;
                 retries += attempts.saturating_sub(1) as u64;
-                record
-            })
-            .collect();
+                retry_counter.add(attempts.saturating_sub(1) as u64);
+                attempts_hist.record(attempts as u64);
+                batch_attempts += attempts as u64;
+                if !record.reachable {
+                    unreachable.inc();
+                    batch_failures += 1;
+                }
+                records.push(record);
+            }
+            tracer.attr("sites", batch.len());
+            tracer.attr("attempts", batch_attempts);
+            tracer.attr("failures", batch_failures);
+            tracer.close();
+        }
+        tracer.close();
+
         InteractionCrawl {
             records,
             transport: self.net.metered.then(|| meter.snapshot()),

@@ -13,8 +13,9 @@
 //! `reproduce --timings`.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+
+use redlight_obs::{Counter, Registry};
 
 /// Multi-label public suffixes known to the embedded list, each expressed as
 /// the suffix string *without* a leading dot.
@@ -127,11 +128,14 @@ pub struct CacheStats {
 /// slice — valid because the result is always a subslice of the queried
 /// host — which lets [`HostCache::registrable`] hand back a borrow of the
 /// *caller's* string without allocating.
+///
+/// Hit/miss counters are `obs` cells: private by default, shared with a
+/// metrics registry when built via [`HostCache::in_registry`].
 #[derive(Debug, Default)]
 pub struct HostCache {
     offsets: RwLock<HashMap<String, (u32, u32)>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl HostCache {
@@ -140,13 +144,23 @@ impl HostCache {
         Self::default()
     }
 
+    /// Empty cache publishing `cache.etld1-hosts.hits` / `.misses` into
+    /// `registry` (the [`HostCache::stats`] view reads the same cells).
+    pub fn in_registry(registry: &Registry) -> Self {
+        HostCache {
+            offsets: RwLock::default(),
+            hits: registry.counter("cache.etld1-hosts.hits"),
+            misses: registry.counter("cache.etld1-hosts.misses"),
+        }
+    }
+
     /// Cached [`registrable_domain`]: identical result, amortized O(1).
     pub fn registrable<'a>(&self, host: &'a str) -> &'a str {
         if let Some(&(start, end)) = self.offsets.read().expect("host cache lock").get(host) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return &host[start as usize..end as usize];
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let rd = registrable_domain(host);
         let start = rd.as_ptr() as usize - host.as_ptr() as usize;
         let end = start + rd.len();
@@ -175,8 +189,8 @@ impl HostCache {
     /// Hit/miss counters so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
         }
     }
 }

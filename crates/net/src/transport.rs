@@ -27,10 +27,10 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use redlight_obs::{Counter, Histogram, Registry, Unit};
 use serde::{Deserialize, Serialize};
 
 use crate::geoip::Country;
@@ -151,45 +151,64 @@ impl TransportStats {
     }
 }
 
-#[derive(Default)]
-struct MeterCells {
-    requests: AtomicU64,
-    responses: AtomicU64,
-    unreachable: AtomicU64,
-    timeouts: AtomicU64,
-    server_errors: AtomicU64,
-    redirects: AtomicU64,
-    body_bytes: AtomicU64,
-    latency_nanos: AtomicU64,
-}
-
 /// A shared handle onto a [`MeteredTransport`]'s counters: the crawler
 /// keeps one after boxing the stack into the browser, then snapshots it
-/// when the crawl finishes (the `CacheCounter` pattern from the analysis
-/// layer, applied to the wire).
+/// when the crawl finishes. The cells are `obs` metric handles — a plain
+/// [`TransportMeter::new`] meter counts into private cells exactly as
+/// before, while [`TransportMeter::in_registry`] shares its cells with a
+/// [`Registry`] so the same counts surface in metrics exports. Either way
+/// [`TransportMeter::snapshot`] renders the familiar [`TransportStats`]
+/// view.
 #[derive(Clone, Default)]
 pub struct TransportMeter {
-    cells: Arc<MeterCells>,
+    requests: Counter,
+    responses: Counter,
+    unreachable: Counter,
+    timeouts: Counter,
+    server_errors: Counter,
+    redirects: Counter,
+    body_bytes: Counter,
+    latency_nanos: Counter,
+    body_hist: Histogram,
 }
 
 impl TransportMeter {
-    /// Fresh meter with all counters at zero.
+    /// Fresh meter with all counters at zero (private, unregistered cells).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// A meter whose cells are the registry's `transport.*` metrics:
+    /// `transport.requests`, `transport.responses`, `transport.unreachable`,
+    /// `transport.timeouts`, `transport.server_errors`,
+    /// `transport.redirects`, `transport.body_bytes`,
+    /// `transport.latency_ns` plus the `transport.body_bytes_hist`
+    /// size histogram.
+    pub fn in_registry(registry: &Registry) -> Self {
+        TransportMeter {
+            requests: registry.counter("transport.requests"),
+            responses: registry.counter("transport.responses"),
+            unreachable: registry.counter("transport.unreachable"),
+            timeouts: registry.counter("transport.timeouts"),
+            server_errors: registry.counter("transport.server_errors"),
+            redirects: registry.counter("transport.redirects"),
+            body_bytes: registry.counter_with_unit("transport.body_bytes", Unit::Bytes),
+            latency_nanos: registry.counter_with_unit("transport.latency_ns", Unit::Nanos),
+            body_hist: registry.histogram_with_unit("transport.body_bytes_hist", Unit::Bytes),
+        }
+    }
+
     /// Reads the counters.
     pub fn snapshot(&self) -> TransportStats {
-        let c = &self.cells;
         TransportStats {
-            requests: c.requests.load(Ordering::Relaxed),
-            responses: c.responses.load(Ordering::Relaxed),
-            unreachable: c.unreachable.load(Ordering::Relaxed),
-            timeouts: c.timeouts.load(Ordering::Relaxed),
-            server_errors: c.server_errors.load(Ordering::Relaxed),
-            redirects: c.redirects.load(Ordering::Relaxed),
-            body_bytes: c.body_bytes.load(Ordering::Relaxed),
-            total_latency: Duration::from_nanos(c.latency_nanos.load(Ordering::Relaxed)),
+            requests: self.requests.get(),
+            responses: self.responses.get(),
+            unreachable: self.unreachable.get(),
+            timeouts: self.timeouts.get(),
+            server_errors: self.server_errors.get(),
+            redirects: self.redirects.get(),
+            body_bytes: self.body_bytes.get(),
+            total_latency: Duration::from_nanos(self.latency_nanos.get()),
         }
     }
 }
@@ -219,29 +238,28 @@ impl<T: Transport> MeteredTransport<T> {
 
 impl<T: Transport> Transport for MeteredTransport<T> {
     fn fetch(&self, req: &Request, ctx: &ClientContext) -> FetchOutcome {
-        let c = &self.meter.cells;
-        c.requests.fetch_add(1, Ordering::Relaxed);
+        let m = &self.meter;
+        m.requests.inc();
         let start = Instant::now();
         let outcome = self.inner.fetch(req, ctx);
-        c.latency_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        m.latency_nanos.add(start.elapsed().as_nanos() as u64);
         match &outcome {
             FetchOutcome::Response(resp) => {
-                c.responses.fetch_add(1, Ordering::Relaxed);
-                c.body_bytes
-                    .fetch_add(resp.body.len() as u64, Ordering::Relaxed);
+                m.responses.inc();
+                m.body_bytes.add(resp.body.len() as u64);
+                m.body_hist.record(resp.body.len() as u64);
                 if resp.status.is_redirect() {
-                    c.redirects.fetch_add(1, Ordering::Relaxed);
+                    m.redirects.inc();
                 }
                 if resp.status.0 >= 500 {
-                    c.server_errors.fetch_add(1, Ordering::Relaxed);
+                    m.server_errors.inc();
                 }
             }
             FetchOutcome::Unreachable => {
-                c.unreachable.fetch_add(1, Ordering::Relaxed);
+                m.unreachable.inc();
             }
             FetchOutcome::Timeout => {
-                c.timeouts.fetch_add(1, Ordering::Relaxed);
+                m.timeouts.inc();
             }
         }
         outcome
@@ -363,7 +381,7 @@ pub struct FaultTransport<T> {
     spec: FaultSpec,
     seed: u64,
     attempts: Mutex<HashMap<u64, u32>>,
-    injected: AtomicU64,
+    injected: Counter,
 }
 
 impl<T: Transport> FaultTransport<T> {
@@ -374,13 +392,20 @@ impl<T: Transport> FaultTransport<T> {
             spec,
             seed,
             attempts: Mutex::new(HashMap::new()),
-            injected: AtomicU64::new(0),
+            injected: Counter::new(),
         }
+    }
+
+    /// Counts injected faults into `counter` (e.g. a registry's
+    /// `transport.faults_injected`) instead of a private cell.
+    pub fn with_injected_counter(mut self, counter: Counter) -> Self {
+        self.injected = counter;
+        self
     }
 
     /// How many faults have been injected so far.
     pub fn injected(&self) -> u64 {
-        self.injected.load(Ordering::Relaxed)
+        self.injected.get()
     }
 
     /// The per-request decision key.
@@ -417,7 +442,7 @@ impl<T: Transport> Transport for FaultTransport<T> {
                 *n
             };
             if attempt <= self.persistence(key) {
-                self.injected.fetch_add(1, Ordering::Relaxed);
+                self.injected.inc();
                 return match fault {
                     Fault::Dns | Fault::Reset => FetchOutcome::Unreachable,
                     Fault::Stall => FetchOutcome::Timeout,
@@ -582,6 +607,32 @@ impl NetProfile {
                 meter.clone(),
             )),
             (Some(spec), false) => Box::new(FaultTransport::new(inner, spec, self.fault_seed)),
+            (None, true) => Box::new(MeteredTransport::new(inner, meter.clone())),
+            (None, false) => Box::new(inner),
+        }
+    }
+
+    /// [`NetProfile::stack`] with registered telemetry: the meter should
+    /// come from [`TransportMeter::in_registry`], and injected faults
+    /// additionally publish the registry's `transport.faults_injected`
+    /// counter. Stack shape and behavior are identical to
+    /// [`NetProfile::stack`].
+    pub fn stack_in<'a, T: Transport + 'a>(
+        &self,
+        inner: T,
+        meter: &TransportMeter,
+        registry: &Registry,
+    ) -> Box<dyn Transport + 'a> {
+        match (self.faults, self.metered) {
+            (Some(spec), true) => Box::new(MeteredTransport::new(
+                FaultTransport::new(inner, spec, self.fault_seed)
+                    .with_injected_counter(registry.counter("transport.faults_injected")),
+                meter.clone(),
+            )),
+            (Some(spec), false) => Box::new(
+                FaultTransport::new(inner, spec, self.fault_seed)
+                    .with_injected_counter(registry.counter("transport.faults_injected")),
+            ),
             (None, true) => Box::new(MeteredTransport::new(inner, meter.clone())),
             (None, false) => Box::new(inner),
         }

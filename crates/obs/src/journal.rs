@@ -1,0 +1,331 @@
+//! Deterministic merge of trace shards plus the exporters.
+//!
+//! [`Journal::build`] walks shards **in name order** (never thread or
+//! commit order) and assigns:
+//!
+//! * global span ids — sequential in (shard, preorder) position;
+//! * parents — a span's shard-local parent if it has one, else the shard's
+//!   [`SpanLink`](crate::span::SpanLink) target;
+//! * a **logical clock** — begin/end ticks reconstructed from preorder +
+//!   parent via stack replay, so every exported timestamp is a pure
+//!   function of the span structure. Wall durations are kept in memory for
+//!   human reports but never serialized: same seed ⇒ byte-identical
+//!   exports on any machine.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::json;
+use crate::span::{AttrVal, Shard};
+
+/// One span in the merged journal.
+#[derive(Debug, Clone)]
+pub struct JournalSpan {
+    /// Global id (1-based).
+    pub id: u64,
+    /// Global id of the parent span, 0 for roots.
+    pub parent: u64,
+    /// Span name (e.g. `stage.organizations`, `visits.003`).
+    pub name: String,
+    /// Name of the shard that recorded the span.
+    pub shard: String,
+    /// 1-based shard index — the exported thread id.
+    pub tid: u32,
+    /// Logical open tick.
+    pub ts: u64,
+    /// Logical close tick (always > `ts`).
+    pub end: u64,
+    /// Measured wall duration (in-memory only; not exported).
+    pub wall: Duration,
+    /// Typed attributes in recording order.
+    pub attrs: Vec<(&'static str, AttrVal)>,
+}
+
+/// The merged, deterministic view of a [`Trace`](crate::Trace).
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    /// Spans ordered by (shard name, preorder position) — equivalently by
+    /// ascending id and ascending `ts`.
+    pub spans: Vec<JournalSpan>,
+    /// Spans discarded by per-shard caps.
+    pub dropped: u64,
+}
+
+impl Journal {
+    pub(crate) fn build(shards: &BTreeMap<String, Shard>) -> Journal {
+        // Pass 1: global ids in (shard name, preorder) order.
+        let mut first_id = BTreeMap::new();
+        let mut next_id = 1u64;
+        for (name, shard) in shards {
+            first_id.insert(name.as_str(), next_id);
+            next_id += shard.spans.len() as u64;
+        }
+
+        let resolve_link = |shard_name: &str, index: usize| -> u64 {
+            match first_id.get(shard_name) {
+                Some(base) => base + index as u64,
+                None => 0,
+            }
+        };
+
+        // Pass 2: parents and the logical clock, shard by shard.
+        let mut spans = Vec::new();
+        let mut dropped = 0u64;
+        let mut clock = 0u64;
+        for (tid, (name, shard)) in shards.iter().enumerate() {
+            dropped += shard.dropped;
+            let base = first_id[name.as_str()];
+            let link_parent = shard
+                .link
+                .as_ref()
+                .map(|l| resolve_link(&l.shard, l.index))
+                .unwrap_or(0);
+            let offset = spans.len();
+            let mut stack: Vec<usize> = Vec::new();
+            for (i, rec) in shard.spans.iter().enumerate() {
+                // Replay the open/close discipline: pop (and end) spans
+                // until the top of the stack is this span's parent.
+                while let Some(&top) = stack.last() {
+                    if rec.parent == Some(top) {
+                        break;
+                    }
+                    stack.pop();
+                    let ended: &mut JournalSpan = &mut spans[offset + top];
+                    ended.end = clock;
+                    clock += 1;
+                }
+                let parent = match rec.parent {
+                    Some(p) => base + p as u64,
+                    None => link_parent,
+                };
+                spans.push(JournalSpan {
+                    id: base + i as u64,
+                    parent,
+                    name: rec.name.clone(),
+                    shard: name.clone(),
+                    tid: tid as u32 + 1,
+                    ts: clock,
+                    end: 0,
+                    wall: rec.wall,
+                    attrs: rec.attrs.clone(),
+                });
+                clock += 1;
+                stack.push(i);
+            }
+            while let Some(top) = stack.pop() {
+                let ended: &mut JournalSpan = &mut spans[offset + top];
+                ended.end = clock;
+                clock += 1;
+            }
+        }
+        Journal { spans, dropped }
+    }
+
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the journal holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Shard names in merge (= export) order.
+    pub fn shards(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for span in &self.spans {
+            if names.last() != Some(&span.shard) {
+                names.push(span.shard.clone());
+            }
+        }
+        names
+    }
+
+    /// Number of spans with exactly this name.
+    pub fn count_named(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// First span with exactly this name.
+    pub fn find(&self, name: &str) -> Option<&JournalSpan> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// JSON-lines export: one object per span, in journal order, with
+    /// logical ticks only (deterministic across machines).
+    pub fn json_lines(&self) -> String {
+        let mut out = String::new();
+        for span in &self.spans {
+            out.push_str("{\"id\":");
+            out.push_str(&span.id.to_string());
+            out.push_str(",\"parent\":");
+            out.push_str(&span.parent.to_string());
+            out.push_str(",\"name\":");
+            json::push_str_literal(&mut out, &span.name);
+            out.push_str(",\"shard\":");
+            json::push_str_literal(&mut out, &span.shard);
+            out.push_str(",\"ts\":");
+            out.push_str(&span.ts.to_string());
+            out.push_str(",\"end\":");
+            out.push_str(&span.end.to_string());
+            out.push_str(",\"attrs\":");
+            json::push_attrs(&mut out, &span.attrs);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Chrome `trace_event` export (load in Perfetto / `chrome://tracing`):
+    /// paired `B`/`E` duration events on one thread track per shard, plus
+    /// `M` metadata events naming the tracks. Timestamps are logical ticks
+    /// (the viewer only needs order and nesting).
+    pub fn chrome_trace(&self) -> String {
+        let mut events: Vec<(u64, bool, &JournalSpan)> = Vec::new();
+        for span in &self.spans {
+            events.push((span.ts, true, span));
+            events.push((span.end, false, span));
+        }
+        events.sort_by_key(|(tick, _, _)| *tick);
+
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(
+            "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"redlight\"}}",
+        );
+        for name in self.shards() {
+            let tid = self
+                .spans
+                .iter()
+                .find(|s| s.shard == name)
+                .map(|s| s.tid)
+                .unwrap_or(0);
+            out.push_str(",\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":");
+            out.push_str(&tid.to_string());
+            out.push_str(",\"args\":{\"name\":");
+            json::push_str_literal(&mut out, &name);
+            out.push_str("}}");
+        }
+        for (tick, is_begin, span) in events {
+            out.push_str(",\n{\"ph\":\"");
+            out.push_str(if is_begin { "B" } else { "E" });
+            out.push_str("\",\"pid\":1,\"tid\":");
+            out.push_str(&span.tid.to_string());
+            out.push_str(",\"ts\":");
+            out.push_str(&tick.to_string());
+            out.push_str(",\"name\":");
+            json::push_str_literal(&mut out, &span.name);
+            if is_begin {
+                out.push_str(",\"cat\":\"redlight\",\"args\":");
+                let mut attrs = vec![("id", AttrVal::U64(span.id))];
+                if span.parent != 0 {
+                    attrs.push(("parent", AttrVal::U64(span.parent)));
+                }
+                attrs.extend(span.attrs.iter().cloned());
+                json::push_attrs(&mut out, &attrs);
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    fn sample_trace() -> Trace {
+        let trace = Trace::new();
+        let mut root = trace.tracer("00.root");
+        root.open("collect");
+        root.open("corpus.compile");
+        root.close();
+        let link = root.link().expect("collect open");
+        let mut worker = trace.tracer_under("01.worker", link);
+        worker.open("crawl");
+        worker.open("visits.000");
+        worker.attr("sites", 25u64);
+        worker.close();
+        worker.close();
+        worker.finish();
+        root.close();
+        root.finish();
+        trace
+    }
+
+    #[test]
+    fn merge_is_independent_of_commit_order() {
+        // Same spans, worker shard committed before the root shard.
+        let reordered = Trace::new();
+        {
+            let mut worker = reordered.tracer("01.worker");
+            worker.open("crawl");
+            worker.open("visits.000");
+            worker.attr("sites", 25u64);
+            worker.close();
+            worker.close();
+            worker.finish();
+        }
+        let mut root = reordered.tracer("00.root");
+        root.open("collect");
+        root.open("corpus.compile");
+        root.close();
+        root.close();
+        root.finish();
+
+        let a = sample_trace().journal();
+        let b = reordered.journal();
+        let ids = |j: &Journal| -> Vec<(u64, String, u64, u64)> {
+            j.spans
+                .iter()
+                .map(|s| (s.id, s.name.clone(), s.ts, s.end))
+                .collect()
+        };
+        // Journals agree on ids, order and clock; only the cross-shard
+        // parent differs (the reordered worker shard has no link).
+        assert_eq!(ids(&a), ids(&b));
+    }
+
+    #[test]
+    fn cross_shard_links_become_parents() {
+        let journal = sample_trace().journal();
+        let collect = journal.find("collect").expect("collect span");
+        let crawl = journal.find("crawl").expect("crawl span");
+        assert_eq!(crawl.parent, collect.id);
+        assert_eq!(journal.find("visits.000").expect("batch").parent, crawl.id);
+    }
+
+    #[test]
+    fn logical_clock_nests_properly() {
+        let journal = sample_trace().journal();
+        for span in &journal.spans {
+            assert!(span.end > span.ts, "{} must close after opening", span.name);
+            if span.parent != 0 {
+                // Parents in the same shard must strictly contain children.
+                let parent = journal.spans.iter().find(|s| s.id == span.parent).unwrap();
+                if parent.shard == span.shard {
+                    assert!(parent.ts < span.ts && span.end < parent.end);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced() {
+        let trace = sample_trace().journal().chrome_trace();
+        let begins = trace.matches("\"ph\":\"B\"").count();
+        let ends = trace.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, 4);
+        assert_eq!(begins, ends);
+    }
+
+    #[test]
+    fn json_lines_one_object_per_span() {
+        let journal = sample_trace().journal();
+        let lines = journal.json_lines();
+        assert_eq!(lines.lines().count(), journal.len());
+        assert!(lines.lines().all(|l| l.starts_with("{\"id\":")));
+    }
+}

@@ -1,11 +1,22 @@
 //! ASCII table rendering.
 
+/// Horizontal alignment of one column's cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (the default for every column).
+    #[default]
+    Left,
+    /// Right-aligned — what numeric columns want.
+    Right,
+}
+
 /// A simple column-aligned table builder.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
     title: String,
     header: Vec<String>,
     rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
 }
 
 impl Table {
@@ -15,7 +26,21 @@ impl Table {
             title: title.to_string(),
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            aligns: Vec::new(),
         }
+    }
+
+    /// Right-aligns the columns at `indices` (0-based). Columns not named
+    /// stay left-aligned, so existing tables render unchanged.
+    pub fn align_right(mut self, indices: &[usize]) -> Table {
+        let max = indices.iter().copied().max().map_or(0, |m| m + 1);
+        if self.aligns.len() < max {
+            self.aligns.resize(max, Align::Left);
+        }
+        for &i in indices {
+            self.aligns[i] = Align::Right;
+        }
+        self
     }
 
     /// Appends one row (stringified cells).
@@ -60,7 +85,10 @@ impl Table {
             (0..ncols)
                 .map(|i| {
                     let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                    format!(" {cell:<width$} ", width = widths[i])
+                    match self.aligns.get(i).copied().unwrap_or_default() {
+                        Align::Left => format!(" {cell:<width$} ", width = widths[i]),
+                        Align::Right => format!(" {cell:>width$} ", width = widths[i]),
+                    }
                 })
                 .collect::<Vec<_>>()
                 .join("|")
@@ -145,6 +173,20 @@ mod tests {
         assert_eq!(lines.len(), 5);
         // Column alignment: all rows same display width.
         assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn right_aligned_columns_pad_on_the_left() {
+        let mut t = Table::new("Demo", &["Domain", "Sites"]).align_right(&[1]);
+        t.row(&["exoclick.com", "2,709"]);
+        t.row(&["x.party", "18"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Narrow numbers shift right: "18" ends where "2,709" ends.
+        assert!(lines[3].ends_with("2,709 "));
+        assert!(lines[4].ends_with("   18 "));
+        // Width alignment is preserved.
         assert_eq!(lines[3].len(), lines[4].len());
     }
 

@@ -25,4 +25,28 @@ cargo bench -p redlight-bench --bench ats_match -- --test
 echo "==> transport bench smoke (--test mode, 1 iteration per bench)"
 cargo bench -p redlight-bench --bench transport -- --test
 
+echo "==> observability exporter smoke (collection-only, all three formats)"
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+cargo run --release -q -p redlight-bench --bin reproduce -- \
+  --collect-only --seed 11 \
+  --trace "$OBS_DIR/trace.json" \
+  --trace-events "$OBS_DIR/trace.jsonl" \
+  --metrics "$OBS_DIR/metrics.prom"
+python3 - "$OBS_DIR" <<'PYEOF'
+import json, sys
+d = sys.argv[1]
+trace = json.load(open(f"{d}/trace.json"))
+events = trace["traceEvents"] if isinstance(trace, dict) else trace
+begins = sum(1 for e in events if e.get("ph") == "B")
+ends = sum(1 for e in events if e.get("ph") == "E")
+assert begins > 0, "Chrome trace has no begin events"
+assert begins == ends, f"unbalanced trace: {begins} B vs {ends} E"
+lines = [json.loads(l) for l in open(f"{d}/trace.jsonl") if l.strip()]
+assert len(lines) == begins, f"{len(lines)} journal lines vs {begins} spans"
+prom = open(f"{d}/metrics.prom").read()
+assert "transport_requests" in prom, "metrics exposition lacks transport counters"
+print(f"exporters OK: {begins} spans, {len(prom.splitlines())} metric lines")
+PYEOF
+
 echo "OK"

@@ -39,6 +39,7 @@ pub use redlight_core as core;
 pub use redlight_crawler as crawler;
 pub use redlight_html as html;
 pub use redlight_net as net;
+pub use redlight_obs as obs;
 pub use redlight_rankings as rankings;
 pub use redlight_report as report;
 pub use redlight_script as script;
