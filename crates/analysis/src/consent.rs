@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::util::pct;
 use redlight_crawler::db::CrawlRecord;
+use redlight_crawler::store::CrawlSlice;
 
 /// The Degeling et al. banner taxonomy as the detector can distinguish it
 /// (Slider and Checkbox require interaction, so they fold into `Others`).
@@ -116,16 +117,28 @@ pub fn breakdown(
     crawl: &CrawlRecord,
     verify: &dyn Fn(&str) -> bool,
 ) -> (BannerBreakdown, Vec<BannerObservation>) {
+    let (observations, rejected) = scan(crawl.full(), verify);
+    finalize(crawl.country, crawl.success_count(), observations, rejected)
+}
+
+/// The map side: one shard's verified banner observations (in visit order)
+/// plus its rejected-candidate count. Merging = concatenating observation
+/// vectors in shard order and summing the rejects.
+pub fn scan(
+    slice: CrawlSlice<'_>,
+    verify: &dyn Fn(&str) -> bool,
+) -> (Vec<BannerObservation>, usize) {
     let mut observations = Vec::new();
     let mut rejected = 0usize;
-    for record in crawl.successful() {
+    for record in slice.successful() {
         if record.visit.dom_html.is_empty() {
             continue;
         }
         if let Some((kind, text)) = classify_page(&record.visit.dom_html) {
-            if verify(&record.domain) {
+            let site = slice.name(record.domain);
+            if verify(site) {
                 observations.push(BannerObservation {
-                    site: record.domain.clone(),
+                    site: site.to_string(),
                     kind,
                     text,
                 });
@@ -134,8 +147,17 @@ pub fn breakdown(
             }
         }
     }
+    (observations, rejected)
+}
 
-    let crawled = crawl.success_count();
+/// The reduce side: derives the Table 8 breakdown from merged observations.
+/// `crawled` is the whole crawl's success count (the percentage base).
+pub fn finalize(
+    country: Country,
+    crawled: usize,
+    observations: Vec<BannerObservation>,
+    rejected: usize,
+) -> (BannerBreakdown, Vec<BannerObservation>) {
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     for obs in &observations {
         *counts.entry(label(obs.kind).to_string()).or_default() += 1;
@@ -159,7 +181,7 @@ pub fn breakdown(
 
     (
         BannerBreakdown {
-            country: crawl.country,
+            country,
             crawled,
             total_pct: pct(observations.len(), crawled.max(1)),
             no_option_share_pct: pct(no_option, observations.len().max(1)),

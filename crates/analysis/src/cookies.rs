@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::ats::AtsClassifier;
 use crate::util::{pct, reg};
 use redlight_crawler::db::CrawlRecord;
+use redlight_crawler::store::CrawlSlice;
 
 /// Minimum value length for a cookie to plausibly carry a unique ID.
 pub const MIN_ID_LEN: usize = 6;
@@ -94,34 +95,56 @@ pub struct Table4Row {
 
 /// Collects deduplicated cookie rows from a crawl.
 pub fn collect(crawl: &CrawlRecord) -> Vec<CookieRow> {
+    scan(crawl.full())
+}
+
+/// The map side of [`collect`]: one shard's rows, deduplicated within the
+/// shard and emitted in visit order.
+pub fn scan(slice: CrawlSlice<'_>) -> Vec<CookieRow> {
     let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
     let mut rows = Vec::new();
-    for record in crawl.successful() {
+    for record in slice.successful() {
         let Some(final_url) = &record.visit.final_url else {
             continue;
         };
+        let site = slice.name(record.domain);
         let site_reg = reg(final_url.host().as_str()).to_string();
         for obs in &record.visit.cookies {
             if !obs.accepted {
                 continue;
             }
             let domain = reg(&obs.effective_domain).to_string();
-            let key = (
-                record.domain.clone(),
-                domain.clone(),
-                obs.cookie.name.clone(),
-            );
+            let key = (site.to_string(), domain.clone(), obs.cookie.name.clone());
             if !seen.insert(key) {
                 continue;
             }
             rows.push(CookieRow {
-                site: record.domain.clone(),
+                site: site.to_string(),
                 third_party: domain != site_reg,
                 domain,
                 name: obs.cookie.name.clone(),
                 value: obs.cookie.value.clone(),
                 session: obs.cookie.is_session(),
             });
+        }
+    }
+    rows
+}
+
+/// The reduce side of [`collect`]: concatenates per-shard rows in shard
+/// order, re-applying the `(site, domain, name)` dedup across shard
+/// boundaries. Because shards are contiguous visit ranges, the merged
+/// sequence keeps first occurrences exactly where the monolithic scan
+/// put them.
+pub fn merge(parts: impl IntoIterator<Item = Vec<CookieRow>>) -> Vec<CookieRow> {
+    let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
+    let mut rows = Vec::new();
+    for part in parts {
+        for row in part {
+            let key = (row.site.clone(), row.domain.clone(), row.name.clone());
+            if seen.insert(key) {
+                rows.push(row);
+            }
         }
     }
     rows

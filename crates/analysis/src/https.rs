@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::cookies::{embeds_geo, embeds_ip};
 use crate::util::pct;
 use redlight_crawler::db::CrawlRecord;
+use redlight_crawler::store::CrawlSlice;
 
 /// One Table 6 band.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,6 +49,21 @@ pub struct HttpsReport {
     pub clear_cookie_pct: f64,
 }
 
+/// One shard's partial HTTPS tallies — every accumulator [`report`] needs,
+/// keyed so that [`merge`] commutes with visit-range concatenation.
+#[derive(Debug, Clone, Default)]
+pub struct HttpsScan {
+    // Per-tier site tallies.
+    site_total: BTreeMap<PopularityTier, usize>,
+    site_https: BTreeMap<PopularityTier, usize>,
+    // Third-party FQDN → (tiers seen on, any https success).
+    tp_tiers: BTreeMap<String, BTreeSet<PopularityTier>>,
+    tp_https: BTreeMap<String, bool>,
+    not_fully: usize,
+    clear_cookies: usize,
+    crawled: usize,
+}
+
 /// Builds Table 6. `tier_of` maps a crawled domain to its popularity tier
 /// (from the rank analysis — observable via the toplist, not ground truth);
 /// `client_ip` feeds the sensitive-payload detection for clear-text leaks.
@@ -56,22 +72,35 @@ pub fn report(
     tier_of: &BTreeMap<String, PopularityTier>,
     client_ip: Ipv4Addr,
 ) -> HttpsReport {
-    // Per-tier site tallies.
-    let mut site_total: BTreeMap<PopularityTier, usize> = BTreeMap::new();
-    let mut site_https: BTreeMap<PopularityTier, usize> = BTreeMap::new();
-    // Third-party FQDN → (tiers seen on, any https success).
-    let mut tp_tiers: BTreeMap<String, BTreeSet<PopularityTier>> = BTreeMap::new();
-    let mut tp_https: BTreeMap<String, bool> = BTreeMap::new();
+    finalize(scan(crawl.full(), tier_of, client_ip))
+}
 
-    let mut not_fully = 0usize;
-    let mut clear_cookies = 0usize;
+/// The map side: scans one shard of the crawl into an [`HttpsScan`].
+pub fn scan(
+    slice: CrawlSlice<'_>,
+    tier_of: &BTreeMap<String, PopularityTier>,
+    client_ip: Ipv4Addr,
+) -> HttpsScan {
+    let mut out = HttpsScan {
+        crawled: slice.success_count(),
+        ..HttpsScan::default()
+    };
+    let HttpsScan {
+        site_total,
+        site_https,
+        tp_tiers,
+        tp_https,
+        not_fully,
+        clear_cookies,
+        ..
+    } = &mut out;
 
-    for record in crawl.successful() {
+    for record in slice.successful() {
         let Some(final_url) = &record.visit.final_url else {
             continue;
         };
         let tier = tier_of
-            .get(&record.domain)
+            .get(slice.name(record.domain))
             .copied()
             .unwrap_or(PopularityTier::Beyond100k);
         *site_total.entry(tier).or_default() += 1;
@@ -104,13 +133,51 @@ pub fn report(
                 && (embeds_ip(&c.cookie.value, client_ip) || embeds_geo(&c.cookie.value))
         });
         if !all_encrypted {
-            not_fully += 1;
+            *not_fully += 1;
             if plain_with_cookies {
-                clear_cookies += 1;
+                *clear_cookies += 1;
             }
         }
     }
+    out
+}
 
+/// The reduce side: folds per-shard partials together. Counter maps add,
+/// tier sets union, the any-HTTPS flags OR — all commutative, so the merge
+/// of any contiguous split equals the monolithic scan.
+pub fn merge(parts: impl IntoIterator<Item = HttpsScan>) -> HttpsScan {
+    let mut out = HttpsScan::default();
+    for part in parts {
+        for (tier, n) in part.site_total {
+            *out.site_total.entry(tier).or_default() += n;
+        }
+        for (tier, n) in part.site_https {
+            *out.site_https.entry(tier).or_default() += n;
+        }
+        for (fqdn, tiers) in part.tp_tiers {
+            out.tp_tiers.entry(fqdn).or_default().extend(tiers);
+        }
+        for (fqdn, https_ok) in part.tp_https {
+            *out.tp_https.entry(fqdn).or_default() |= https_ok;
+        }
+        out.not_fully += part.not_fully;
+        out.clear_cookies += part.clear_cookies;
+        out.crawled += part.crawled;
+    }
+    out
+}
+
+/// Turns the (merged) tallies into the final [`HttpsReport`].
+pub fn finalize(scan: HttpsScan) -> HttpsReport {
+    let HttpsScan {
+        site_total,
+        site_https,
+        tp_tiers,
+        tp_https,
+        not_fully,
+        clear_cookies,
+        crawled,
+    } = scan;
     let rows = PopularityTier::ALL
         .into_iter()
         .map(|tier| {
@@ -135,7 +202,6 @@ pub fn report(
         })
         .collect();
 
-    let crawled = crawl.success_count();
     HttpsReport {
         rows,
         not_fully_https: not_fully,

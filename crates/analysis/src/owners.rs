@@ -130,22 +130,24 @@ pub fn discover(
             continue;
         }
         if let Some(publisher) = head_publisher(&record.visit.dom_html) {
+            let domain = crawl.name(record.domain);
             let entry = by_company.entry(publisher).or_default();
-            if !entry.contains(&record.domain) {
-                entry.push(record.domain.clone());
+            if !entry.iter().any(|d| d == domain) {
+                entry.push(domain.to_string());
             }
         }
     }
 
     // --- Signal 3: WHOIS organizations corroborate/extend clusters. ---
     for record in &crawl.visits {
+        let domain = crawl.name(record.domain);
         if let Some(org) = whois
-            .lookup(redlight_net::psl::registrable_domain(&record.domain))
+            .lookup(redlight_net::psl::registrable_domain(domain))
             .and_then(|r| r.organization())
         {
             let entry = by_company.entry(org.to_string()).or_default();
-            if !entry.contains(&record.domain) {
-                entry.push(record.domain.clone());
+            if !entry.iter().any(|d| d == domain) {
+                entry.push(domain.to_string());
             }
         }
     }

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::util::{reg, same_site};
 use redlight_crawler::db::CrawlRecord;
+use redlight_crawler::store::CrawlSlice;
 
 /// One syncing pair of domains.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -114,43 +115,153 @@ fn detect_inner(
     options: SyncOptions,
     hosts: Option<&HostCache>,
 ) -> SyncReport {
+    // The detector is defined as the two-pass map/reduce run on a single
+    // shard, so sharded runs reproduce it by construction.
+    let regs = regs_inner(crawl.full(), options, hosts);
+    let matches = matches_inner(crawl.full(), &regs, options, hosts);
+    finalize(matches, ranked_sites, top_k)
+}
+
+/// Pass-1 result: each qualifying cookie value (or fragment) mapped to the
+/// registrable domain that owns it and the **absolute** index of the visit
+/// that first set it. The session registers cookies visit by visit, so a
+/// value only syncs at visits at-or-after its first registration.
+pub type SyncRegistrations = BTreeMap<String, (String, usize)>;
+
+/// Pass-2 partial: sync pairs and syncing sites observed in one shard.
+#[derive(Debug, Clone, Default)]
+pub struct SyncMatches {
+    pairs: BTreeMap<SyncPair, usize>,
+    sites: BTreeSet<String>,
+}
+
+/// Pass 1 over one shard: registers cookie values set during its visits.
+pub fn scan_registrations(
+    slice: CrawlSlice<'_>,
+    options: SyncOptions,
+    hosts: &HostCache,
+) -> SyncRegistrations {
+    regs_inner(slice, options, Some(hosts))
+}
+
+/// Merges per-shard registrations, keeping the globally earliest setter of
+/// each value (shards cover disjoint visit ranges, so indices never tie).
+pub fn merge_registrations(
+    parts: impl IntoIterator<Item = SyncRegistrations>,
+) -> SyncRegistrations {
+    let mut out = SyncRegistrations::new();
+    for part in parts {
+        for (value, (owner, idx)) in part {
+            match out.entry(value) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert((owner, idx));
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if idx < e.get().1 {
+                        e.insert((owner, idx));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pass 2 over one shard: matches query values against the **merged**
+/// registrations, honouring session order via the first-set index.
+pub fn scan_matches(
+    slice: CrawlSlice<'_>,
+    regs: &SyncRegistrations,
+    options: SyncOptions,
+    hosts: &HostCache,
+) -> SyncMatches {
+    matches_inner(slice, regs, options, Some(hosts))
+}
+
+/// Merges per-shard match partials (counts add, site sets union).
+pub fn merge_matches(parts: impl IntoIterator<Item = SyncMatches>) -> SyncMatches {
+    let mut out = SyncMatches::default();
+    for part in parts {
+        for (pair, n) in part.pairs {
+            *out.pairs.entry(pair).or_default() += n;
+        }
+        out.sites.extend(part.sites);
+    }
+    out
+}
+
+/// Builds the [`SyncReport`] from (merged) match partials.
+pub fn finalize(matches: SyncMatches, ranked_sites: &[String], top_k: usize) -> SyncReport {
+    let SyncMatches { pairs, sites } = matches;
+    let origins: BTreeSet<&str> = pairs.keys().map(|p| p.origin.as_str()).collect();
+    let destinations: BTreeSet<&str> = pairs.keys().map(|p| p.destination.as_str()).collect();
+    let top: Vec<&String> = ranked_sites.iter().take(top_k).collect();
+    let top_with = top.iter().filter(|s| sites.contains(s.as_str())).count();
+
+    SyncReport {
+        sites_with_sync: sites.len(),
+        origins: origins.len(),
+        destinations: destinations.len(),
+        pairs,
+        top_sites_with_sync_pct: crate::util::pct(top_with, top.len().max(1)),
+    }
+}
+
+fn regs_inner(
+    slice: CrawlSlice<'_>,
+    options: SyncOptions,
+    hosts: Option<&HostCache>,
+) -> SyncRegistrations {
     let reg_of = |host: &str| -> String {
         match hosts {
             Some(cache) => cache.registrable(host).to_string(),
             None => reg(host).to_string(),
         }
     };
-    // Cookie values seen so far in the session, with their owning domain.
-    // Values shorter than 8 chars would false-positive against ordinary
-    // query values.
-    let mut value_owner: BTreeMap<String, String> = BTreeMap::new();
-    let mut pairs: BTreeMap<SyncPair, usize> = BTreeMap::new();
-    let mut sites_with_sync: BTreeSet<String> = BTreeSet::new();
-
-    for record in &crawl.visits {
-        let mut synced_here = false;
-        // Register cookies observed during this visit first: a pixel may
-        // set + leak within one chain.
+    // Cookie values observed in the session, with their owning domain and
+    // first-setting visit. Values shorter than 8 chars would false-positive
+    // against ordinary query values.
+    let mut out = SyncRegistrations::new();
+    for (i, record) in slice.visits.iter().enumerate() {
+        let idx = slice.offset + i;
         for obs in &record.visit.cookies {
             if !obs.accepted {
                 continue;
             }
             let owner = reg_of(&obs.effective_domain);
             if obs.cookie.value.chars().count() >= options.min_value_len {
-                value_owner
-                    .entry(obs.cookie.value.clone())
-                    .or_insert_with(|| owner.clone());
+                out.entry(obs.cookie.value.clone())
+                    .or_insert_with(|| (owner.clone(), idx));
             }
             if options.split_delimiters {
                 for fragment in obs.cookie.value.split(['-', '=', '|', '.']) {
                     if fragment.chars().count() >= options.min_value_len {
-                        value_owner
-                            .entry(fragment.to_string())
-                            .or_insert_with(|| owner.clone());
+                        out.entry(fragment.to_string())
+                            .or_insert_with(|| (owner.clone(), idx));
                     }
                 }
             }
         }
+    }
+    out
+}
+
+fn matches_inner(
+    slice: CrawlSlice<'_>,
+    regs: &SyncRegistrations,
+    options: SyncOptions,
+    hosts: Option<&HostCache>,
+) -> SyncMatches {
+    let reg_of = |host: &str| -> String {
+        match hosts {
+            Some(cache) => cache.registrable(host).to_string(),
+            None => reg(host).to_string(),
+        }
+    };
+    let mut out = SyncMatches::default();
+    for (i, record) in slice.visits.iter().enumerate() {
+        let idx = slice.offset + i;
+        let mut synced_here = false;
         for req in &record.visit.requests {
             if req.url.query().is_none() {
                 continue;
@@ -174,14 +285,17 @@ fn detect_inner(
                     );
                 }
                 for candidate in candidates {
-                    let Some(owner) = value_owner.get(candidate) else {
+                    let Some((owner, first_set)) = regs.get(candidate) else {
                         continue;
                     };
+                    if *first_set > idx {
+                        continue; // only set later in the session
+                    }
                     let dest = reg_of(dest_host);
                     if same_site(owner, &dest) {
                         continue; // first-party echo, not a sync
                     }
-                    *pairs
+                    *out.pairs
                         .entry(SyncPair {
                             origin: owner.clone(),
                             destination: dest,
@@ -192,25 +306,10 @@ fn detect_inner(
             }
         }
         if synced_here {
-            sites_with_sync.insert(record.domain.clone());
+            out.sites.insert(slice.name(record.domain).to_string());
         }
     }
-
-    let origins: BTreeSet<&str> = pairs.keys().map(|p| p.origin.as_str()).collect();
-    let destinations: BTreeSet<&str> = pairs.keys().map(|p| p.destination.as_str()).collect();
-    let top: Vec<&String> = ranked_sites.iter().take(top_k).collect();
-    let top_with = top
-        .iter()
-        .filter(|s| sites_with_sync.contains(s.as_str()))
-        .count();
-
-    SyncReport {
-        sites_with_sync: sites_with_sync.len(),
-        origins: origins.len(),
-        destinations: destinations.len(),
-        pairs,
-        top_sites_with_sync_pct: crate::util::pct(top_with, top.len().max(1)),
-    }
+    out
 }
 
 #[cfg(test)]

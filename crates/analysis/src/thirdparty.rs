@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::util::reg;
 use redlight_crawler::db::{CorpusLabel, CrawlRecord};
+use redlight_crawler::store::CrawlSlice;
 
 /// Party classification of one observed FQDN relative to a host site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -133,7 +134,7 @@ impl ThirdPartyExtract {
 /// embedded frames (RTB inclusion chains); Table 7 excludes them, the main
 /// §4.2 analysis includes them.
 pub fn extract(crawl: &CrawlRecord, include_chained: bool) -> ThirdPartyExtract {
-    extract_inner(crawl, include_chained, None)
+    scan_inner(crawl.full(), include_chained, None)
 }
 
 /// [`extract`] with eTLD+1 resolutions memoized in `hosts`. Identical
@@ -143,16 +144,39 @@ pub fn extract_cached(
     include_chained: bool,
     hosts: &HostCache,
 ) -> ThirdPartyExtract {
-    extract_inner(crawl, include_chained, Some(hosts))
+    scan_inner(crawl.full(), include_chained, Some(hosts))
 }
 
-fn extract_inner(
-    crawl: &CrawlRecord,
+/// The map side of the extraction: one shard's partial extract. Merging
+/// every shard's partial with [`merge`] reproduces the monolithic
+/// [`extract`] exactly (per-site maps and FQDN sets union cleanly).
+pub fn scan(slice: CrawlSlice<'_>, include_chained: bool, hosts: &HostCache) -> ThirdPartyExtract {
+    scan_inner(slice, include_chained, Some(hosts))
+}
+
+/// The reduce side: unions per-shard partials, in shard order.
+pub fn merge(parts: impl IntoIterator<Item = ThirdPartyExtract>) -> ThirdPartyExtract {
+    let mut out = ThirdPartyExtract::default();
+    for part in parts {
+        for (site, parties) in part.per_site {
+            let entry = out.per_site.entry(site).or_default();
+            entry.first.extend(parties.first);
+            entry.third.extend(parties.third);
+        }
+        out.first_party_fqdns.extend(part.first_party_fqdns);
+        out.third_party_fqdns.extend(part.third_party_fqdns);
+        out.contacted_fqdns.extend(part.contacted_fqdns);
+    }
+    out
+}
+
+fn scan_inner(
+    slice: CrawlSlice<'_>,
     include_chained: bool,
     hosts: Option<&HostCache>,
 ) -> ThirdPartyExtract {
     let mut out = ThirdPartyExtract::default();
-    for record in crawl.successful() {
+    for record in slice.successful() {
         let visit = &record.visit;
         let Some(final_url) = &visit.final_url else {
             continue;
@@ -165,7 +189,10 @@ fn extract_inner(
             .find(|r| r.kind == redlight_net::http::ResourceKind::Document && r.cert.is_some())
             .and_then(|r| r.cert.clone());
 
-        let parties = out.per_site.entry(record.domain.clone()).or_default();
+        let parties = out
+            .per_site
+            .entry(slice.name(record.domain).to_string())
+            .or_default();
         for req in &visit.requests {
             if req.status.is_none() {
                 continue; // unreachable: nothing was contacted
@@ -201,9 +228,10 @@ fn extract_inner(
     out
 }
 
-/// Identity of one extraction: which crawl, and whether frame-chained
-/// requests were kept.
-type ExtractKey = (Country, CorpusLabel, bool);
+/// Identity of one extraction: which crawl, whether frame-chained requests
+/// were kept, and which visit range was scanned (`0..visits.len()` for the
+/// whole crawl; per-shard sub-ranges memoize shard partials).
+type ExtractKey = (Country, CorpusLabel, bool, usize, usize);
 
 /// A pipeline-wide memo of third-party extractions.
 ///
@@ -245,7 +273,13 @@ impl ExtractMemo {
 
     /// The extraction for `crawl`, computed at most once per key.
     pub fn get(&self, crawl: &CrawlRecord, include_chained: bool) -> Arc<ThirdPartyExtract> {
-        let key: ExtractKey = (crawl.country, crawl.corpus, include_chained);
+        let key: ExtractKey = (
+            crawl.country,
+            crawl.corpus,
+            include_chained,
+            0,
+            crawl.visits.len(),
+        );
         if let Some(found) = self.map.read().expect("extract memo lock").get(&key) {
             self.hits.inc();
             return Arc::clone(found);
@@ -254,6 +288,66 @@ impl ExtractMemo {
         let extract = Arc::new(extract_cached(crawl, include_chained, &self.hosts));
         let mut map = self.map.write().expect("extract memo lock");
         Arc::clone(map.entry(key).or_insert(extract))
+    }
+
+    /// One shard's partial extraction, memoized under the shard's visit
+    /// range.
+    pub fn get_shard(
+        &self,
+        slice: CrawlSlice<'_>,
+        include_chained: bool,
+    ) -> Arc<ThirdPartyExtract> {
+        let key: ExtractKey = (
+            slice.country,
+            slice.corpus,
+            include_chained,
+            slice.offset,
+            slice.offset + slice.len(),
+        );
+        if let Some(found) = self.map.read().expect("extract memo lock").get(&key) {
+            self.hits.inc();
+            return Arc::clone(found);
+        }
+        self.misses.inc();
+        let extract = Arc::new(scan(slice, include_chained, &self.hosts));
+        let mut map = self.map.write().expect("extract memo lock");
+        Arc::clone(map.entry(key).or_insert(extract))
+    }
+
+    /// The extraction for `crawl` assembled shard-by-shard: scans each of
+    /// `shards` contiguous visit ranges (memoized individually via
+    /// [`get_shard`](Self::get_shard)), merges the partials in shard order,
+    /// and caches the merged result under the whole-crawl key — so a later
+    /// [`get`](Self::get) for the same crawl is a hit and returns the exact
+    /// same value a monolithic extraction would have produced.
+    pub fn get_sharded(
+        &self,
+        crawl: &CrawlRecord,
+        include_chained: bool,
+        shards: usize,
+    ) -> Arc<ThirdPartyExtract> {
+        if shards <= 1 {
+            return self.get(crawl, include_chained);
+        }
+        let full: ExtractKey = (
+            crawl.country,
+            crawl.corpus,
+            include_chained,
+            0,
+            crawl.visits.len(),
+        );
+        if let Some(found) = self.map.read().expect("extract memo lock").get(&full) {
+            self.hits.inc();
+            return Arc::clone(found);
+        }
+        let parts: Vec<ThirdPartyExtract> = crawl
+            .shards(shards)
+            .into_iter()
+            .map(|slice| (*self.get_shard(slice, include_chained)).clone())
+            .collect();
+        let merged = Arc::new(merge(parts));
+        let mut map = self.map.write().expect("extract memo lock");
+        Arc::clone(map.entry(full).or_insert(merged))
     }
 
     /// Hit/miss counters so far.

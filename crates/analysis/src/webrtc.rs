@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::ats::AtsClassifier;
 use crate::fingerprint::ScriptId;
 use redlight_crawler::db::CrawlRecord;
+use redlight_crawler::store::CrawlSlice;
 
 /// Aggregated WebRTC findings.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -29,14 +30,58 @@ pub struct WebRtcReport {
     pub sites_with_other_tracking: usize,
 }
 
+/// One shard's partial WebRTC tallies.
+#[derive(Debug, Clone, Default)]
+pub struct WebRtcScan {
+    scripts: BTreeSet<ScriptId>,
+    sites: BTreeSet<String>,
+    services: BTreeSet<String>,
+    with_other: usize,
+}
+
 /// Scans a crawl for WebRTC API usage.
 pub fn detect(crawl: &CrawlRecord, classifier: &AtsClassifier) -> WebRtcReport {
+    finalize(scan(crawl.full(), classifier), classifier)
+}
+
+/// The reduce side: set unions plus the co-occurrence sum.
+pub fn merge(parts: impl IntoIterator<Item = WebRtcScan>) -> WebRtcScan {
+    let mut out = WebRtcScan::default();
+    for part in parts {
+        out.scripts.extend(part.scripts);
+        out.sites.extend(part.sites);
+        out.services.extend(part.services);
+        out.with_other += part.with_other;
+    }
+    out
+}
+
+/// Classifies the (merged) services against the blocklists and assembles
+/// the report.
+pub fn finalize(scan: WebRtcScan, classifier: &AtsClassifier) -> WebRtcReport {
+    let ats_services: BTreeSet<String> = scan
+        .services
+        .iter()
+        .filter(|d| classifier.is_ats_fqdn(d))
+        .cloned()
+        .collect();
+    WebRtcReport {
+        scripts: scan.scripts,
+        sites: scan.sites,
+        services: scan.services,
+        ats_services,
+        sites_with_other_tracking: scan.with_other,
+    }
+}
+
+/// The map side: scans one shard.
+pub fn scan(slice: CrawlSlice<'_>, classifier: &AtsClassifier) -> WebRtcScan {
     let mut scripts: BTreeSet<ScriptId> = BTreeSet::new();
     let mut sites: BTreeSet<String> = BTreeSet::new();
     let mut services: BTreeSet<String> = BTreeSet::new();
     let mut with_other = 0usize;
 
-    for record in crawl.successful() {
+    for record in slice.successful() {
         let Some(final_url) = &record.visit.final_url else {
             continue;
         };
@@ -64,7 +109,7 @@ pub fn detect(crawl: &CrawlRecord, classifier: &AtsClassifier) -> WebRtcReport {
             scripts.insert(id);
         }
         if used_here {
-            sites.insert(record.domain.clone());
+            sites.insert(slice.name(record.domain).to_string());
             // "Other tracking mechanisms in conjunction": any cookie set or
             // canvas readback during the same visit.
             let other = !record.visit.cookies.is_empty()
@@ -79,17 +124,10 @@ pub fn detect(crawl: &CrawlRecord, classifier: &AtsClassifier) -> WebRtcReport {
         }
     }
 
-    let ats_services: BTreeSet<String> = services
-        .iter()
-        .filter(|d| classifier.is_ats_fqdn(d))
-        .cloned()
-        .collect();
-
-    WebRtcReport {
+    WebRtcScan {
         scripts,
         sites,
         services,
-        ats_services,
-        sites_with_other_tracking: with_other,
+        with_other,
     }
 }

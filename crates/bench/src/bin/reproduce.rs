@@ -8,6 +8,8 @@
 //! cargo run --release -p redlight-bench --bin reproduce -- --stage cookies --stage https
 //! cargo run --release -p redlight-bench --bin reproduce -- --net-profile flaky --fault-seed 7
 //! cargo run --release -p redlight-bench --bin reproduce -- --trace out.json --metrics out.prom
+//! cargo run --release -p redlight-bench --bin reproduce -- --shards 4 --timings
+//! cargo run --release -p redlight-bench --bin reproduce -- --sites-scale 4
 //! ```
 //!
 //! Prints the rendered tables/figures followed by the paper-vs-measured
@@ -21,6 +23,13 @@
 //! selects the network the crawls run over (`default`, `direct`, `flaky`,
 //! `lossy`); `--fault-seed <n>` re-seeds the profile's fault injector so a
 //! fixed seed replays the exact same network weather.
+//!
+//! `--shards <n>` fans the decomposable analysis stages over `n`
+//! contiguous visit-range shards (map/reduce; results are byte-identical
+//! to the monolithic run) and, with `--timings`, appends per-crawl shard
+//! statistics. `--sites-scale <n>` grows every world population `n`× while
+//! keeping the paper's proportions — the paper-vs-measured comparison
+//! rescales accordingly. Both reject `0`.
 //!
 //! Observability exports (any of these turns journaling on; same seed ⇒
 //! byte-identical files):
@@ -74,6 +83,21 @@ fn main() {
     let trace_out = path_arg("--trace");
     let events_out = path_arg("--trace-events");
     let metrics_out = path_arg("--metrics");
+    // Positive-count flags: absent ⇒ 1, `0` or unparsable ⇒ usage error.
+    let count_arg = |flag: &str| -> usize {
+        match args.iter().position(|a| a == flag) {
+            None => 1,
+            Some(i) => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => n,
+                _ => {
+                    eprintln!("{flag} expects a positive integer");
+                    std::process::exit(2);
+                }
+            },
+        }
+    };
+    let shards = count_arg("--shards");
+    let sites_scale = count_arg("--sites-scale");
 
     let mut config = if paper_scale {
         StudyConfig::paper_scale(seed)
@@ -95,7 +119,10 @@ fn main() {
     if let Some(fault_seed) = fault_seed {
         config.net = config.net.with_fault_seed(fault_seed);
     }
-    let scale = if paper_scale { 1.0 } else { 20.0 };
+    config.world = config.world.scaled(sites_scale);
+    // Counts grow with the corpus, so the paper comparison divides the
+    // base world-size factor by the multiplicative growth.
+    let scale = if paper_scale { 1.0 } else { 20.0 } / sites_scale as f64;
 
     // Journaling is opt-in: without an export flag the study runs over the
     // disabled (zero-overhead) observability context.
@@ -129,6 +156,7 @@ fn main() {
                 crawls: crawl_timings,
                 stages: Vec::new(),
                 caches: Vec::new(),
+                shards: shard_stats(&db, shards),
             };
             print_timings(&report, json);
         }
@@ -137,14 +165,14 @@ fn main() {
     }
 
     if !requested.is_empty() {
-        run_stages(&config, &requested, timings, json, &obs);
+        run_stages(&config, &requested, timings, json, &obs, shards);
         eprintln!("done in {:?}", t0.elapsed());
         export_obs(&obs, &trace_out, &events_out, &metrics_out);
         return;
     }
 
     let world = World::build(config.world.clone());
-    let results = Study::run_on_observed(&world, &config, &obs);
+    let results = Study::run_on_sharded_observed(&world, &config, &obs, shards);
     eprintln!("done in {:?}", t0.elapsed());
 
     println!("{}", results.render_summary());
@@ -158,6 +186,18 @@ fn main() {
     export_obs(&obs, &trace_out, &events_out, &metrics_out);
 }
 
+/// Per-crawl shard statistics — only surfaced on sharded runs.
+fn shard_stats(
+    db: &redlight_crawler::db::MeasurementDb,
+    shards: usize,
+) -> Vec<redlight_core::results::ShardStat> {
+    if shards > 1 {
+        stages::shard_stats(db, shards)
+    } else {
+        Vec::new()
+    }
+}
+
 /// `--stage` mode: collect the DB once, run only the selected stages.
 fn run_stages(
     config: &StudyConfig,
@@ -165,6 +205,7 @@ fn run_stages(
     timings: bool,
     json: bool,
     obs: &ObsContext,
+    shards: usize,
 ) {
     let selected = match stages::expand_selection(requested) {
         Ok(s) => s,
@@ -180,7 +221,7 @@ fn run_stages(
 
     let world = World::build(config.world.clone());
     let (db, crawl_timings) = Study::collect_db_observed(&world, config, obs);
-    let ctx = stages::AnalysisContext::build_in(&world, config, &db, &obs.metrics);
+    let ctx = stages::AnalysisContext::build_sharded_in(&world, config, &db, &obs.metrics, shards);
     let stage_obs = stages::StageObs {
         trace: &obs.trace,
         metrics: &obs.metrics,
@@ -196,6 +237,7 @@ fn run_stages(
             crawls: crawl_timings,
             stages: stage_timings,
             caches: ctx.cache_counters(),
+            shards: shard_stats(&db, shards),
         };
         print_timings(&report, json);
     }

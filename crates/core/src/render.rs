@@ -647,6 +647,43 @@ impl crate::results::StageReport {
             ));
         }
 
+        if !self.shards.is_empty() {
+            let mut shards = Table::new(
+                "Sharded store — one row per crawl",
+                &[
+                    "country",
+                    "corpus",
+                    "visits",
+                    "shards",
+                    "shard sizes",
+                    "symbols",
+                    "interned KiB",
+                ],
+            )
+            .align_right(&[2, 3, 4, 5, 6]);
+            for s in &self.shards {
+                shards.row(&[
+                    format!("{:?}", s.country),
+                    format!("{:?}", s.corpus).to_lowercase(),
+                    fmt_count(s.visits),
+                    fmt_count(s.shards),
+                    format!("{}–{}", s.min_shard, s.max_shard),
+                    fmt_count(s.symbols),
+                    format!("{:.1}", s.interned_bytes as f64 / 1024.0),
+                ]);
+            }
+            let total_bytes: usize = self.shards.iter().map(|s| s.interned_bytes).sum();
+            let total_visits: usize = self.shards.iter().map(|s| s.visits).sum();
+            out.push('\n');
+            out.push_str(&shards.render());
+            out.push_str(&format!(
+                "interned string data: {:.1} KiB over {} visits ({:.1} B/visit)\n",
+                total_bytes as f64 / 1024.0,
+                fmt_count(total_visits),
+                total_bytes as f64 / total_visits.max(1) as f64,
+            ));
+        }
+
         if !self.caches.is_empty() {
             let mut caches = Table::new(
                 "Shared caches — hit/miss counters",
@@ -744,7 +781,28 @@ impl crate::results::StageReport {
             push_str_literal(&mut out, c.name);
             out.push_str(&format!(",\"hits\":{},\"misses\":{}}}", c.hits, c.misses));
         }
-        out.push_str("]}");
+        out.push(']');
+        // Shard stats exist only on sharded runs; unsharded JSON is
+        // byte-identical to what earlier revisions emitted.
+        if !self.shards.is_empty() {
+            out.push_str(",\"shards\":[");
+            for (i, s) in self.shards.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"country\":");
+                push_str_literal(&mut out, s.country.code());
+                out.push_str(",\"corpus\":");
+                push_str_literal(&mut out, &format!("{:?}", s.corpus).to_lowercase());
+                out.push_str(&format!(
+                    ",\"visits\":{},\"shards\":{},\"min_shard\":{},\"max_shard\":{},\
+                     \"symbols\":{},\"interned_bytes\":{}}}",
+                    s.visits, s.shards, s.min_shard, s.max_shard, s.symbols, s.interned_bytes
+                ));
+            }
+            out.push(']');
+        }
+        out.push('}');
         out
     }
 }

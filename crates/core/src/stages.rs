@@ -18,7 +18,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use redlight_analysis::agegate::AgeGateComparison;
@@ -43,6 +44,7 @@ use redlight_analysis::{
 };
 use redlight_crawler::corpus::{CorpusCompiler, CorpusReport};
 use redlight_crawler::db::{CorpusLabel, CrawlRecord, InteractionRecord, MeasurementDb};
+use redlight_crawler::store::{shard_ranges, CrawlSlice};
 use redlight_net::geoip::Country;
 use redlight_net::psl::HostCache;
 use redlight_obs::{Registry, SpanLink, Trace};
@@ -152,6 +154,30 @@ pub fn all_stages() -> BTreeSet<&'static str> {
     STAGES.iter().copied().collect()
 }
 
+/// Per-crawl shard statistics for a run fanning over `shards` shards: how
+/// each crawl's visit range splits and how much interned string data its
+/// symbol table carries. Surfaced through [`StageReport`] under
+/// `reproduce --timings`, never through the deterministic summary.
+pub fn shard_stats(db: &MeasurementDb, shards: usize) -> Vec<crate::results::ShardStat> {
+    db.crawls()
+        .iter()
+        .map(|crawl| {
+            let ranges = shard_ranges(crawl.visits.len(), shards);
+            let sizes = ranges.iter().map(|(lo, hi)| hi - lo);
+            crate::results::ShardStat {
+                country: crawl.country,
+                corpus: crawl.corpus,
+                visits: crawl.visits.len(),
+                shards: ranges.len(),
+                min_shard: sizes.clone().min().unwrap_or(0),
+                max_shard: sizes.max().unwrap_or(0),
+                symbols: crawl.names().len(),
+                interned_bytes: crawl.names().arena_bytes(),
+            }
+        })
+        .collect()
+}
+
 /// Longitudinal rank artifacts for the porn corpus: per-domain histories,
 /// best ranks, and the corpus sorted by best rank.
 pub(crate) fn ranked_corpus(
@@ -227,6 +253,11 @@ pub struct AnalysisContext<'a> {
     /// The Spanish vantage point's public IP, as recorded by the crawl —
     /// what server-side trackers embed in cookies.
     pub client_ip: Ipv4Addr,
+    /// How many contiguous visit-range shards the decomposable stages fan
+    /// their scans over. `1` (the default) is the monolithic path: every
+    /// stage consumes whole crawls exactly as before, and no shard spans
+    /// are recorded.
+    pub shards: usize,
 }
 
 impl<'a> AnalysisContext<'a> {
@@ -238,6 +269,20 @@ impl<'a> AnalysisContext<'a> {
         Self::build_in(world, config, db, &Registry::new())
     }
 
+    /// [`build`](Self::build) with the shared artifacts that scan whole
+    /// crawls (third-party extracts, cookie rows) computed as `shards`
+    /// per-shard partials merged in shard order. The artifacts — and
+    /// therefore everything derived from them — are byte-identical to
+    /// [`build`]; only peak memory and parallelism change.
+    pub fn build_sharded(
+        world: &'a World,
+        config: &StudyConfig,
+        db: &'a MeasurementDb,
+        shards: usize,
+    ) -> Self {
+        Self::build_sharded_in(world, config, db, &Registry::new(), shards)
+    }
+
     /// [`build`](Self::build) with every shared cache (eTLD+1 hosts, ATS
     /// verdicts, third-party extracts, the cert harvest) publishing its
     /// hit/miss counters as `cache.<name>.{hits,misses}` into `registry`.
@@ -247,6 +292,18 @@ impl<'a> AnalysisContext<'a> {
         config: &StudyConfig,
         db: &'a MeasurementDb,
         registry: &Registry,
+    ) -> Self {
+        Self::build_sharded_in(world, config, db, registry, 1)
+    }
+
+    /// [`build_in`](Self::build_in) + [`build_sharded`](Self::build_sharded)
+    /// combined: registry-published caches and sharded artifact derivation.
+    pub fn build_sharded_in(
+        world: &'a World,
+        config: &StudyConfig,
+        db: &'a MeasurementDb,
+        registry: &Registry,
+        shards: usize,
     ) -> Self {
         let corpus = CorpusCompiler::new(world).compile();
         let (porn_histories, best_ranks, ranked) = ranked_corpus(world, &corpus.sanitized);
@@ -267,8 +324,8 @@ impl<'a> AnalysisContext<'a> {
             registry,
         );
         let extracts = ExtractMemo::in_registry(Arc::clone(&hosts), registry);
-        let porn_extract = extracts.get(porn_es, true);
-        let regular_extract = extracts.get(regular_es, true);
+        let porn_extract = extracts.get_sharded(porn_es, true, shards);
+        let regular_extract = extracts.get_sharded(regular_es, true, shards);
         // Out-of-band TLS probe: connect to port 443 of any contacted FQDN
         // and read its certificate (what the paper's §4.2(3) pipeline did).
         let probe = |host: &str| -> Option<redlight_net::tls::CertSummary> {
@@ -276,7 +333,11 @@ impl<'a> AnalysisContext<'a> {
             Some((&world.cert_for_host(host)).into())
         };
         let cert_harvest = CertHarvest::collect_in(&[porn_es, regular_es], Some(&probe), registry);
-        let cookie_rows = cookies::collect(porn_es);
+        let cookie_rows = if shards <= 1 {
+            cookies::collect(porn_es)
+        } else {
+            cookies::merge(porn_es.shards(shards).into_iter().map(cookies::scan))
+        };
         let interactions_es: Vec<InteractionRecord> =
             db.interactions_in(Country::Spain).cloned().collect();
         let client_ip = porn_es.client_ip;
@@ -303,6 +364,7 @@ impl<'a> AnalysisContext<'a> {
             cookie_rows,
             interactions_es,
             client_ip,
+            shards: shards.max(1),
         }
     }
 
@@ -630,6 +692,58 @@ fn observed<T>(
     (out, timing)
 }
 
+/// Bound on concurrent per-shard scan workers within one stage. The wave
+/// threads already parallelize across stages; this caps the multiplicative
+/// blow-up when a stage fans out over many shards.
+const MAX_SHARD_WORKERS: usize = 8;
+
+/// Fans a stage's per-shard scan over `crawl.shards(shards)` on a bounded
+/// work queue: at most [`MAX_SHARD_WORKERS`] workers pull shard indices off
+/// a shared counter, so peak memory stays O(workers × shard) rather than
+/// O(crawl). Shard `i` records a `stage.<name>.shard.NNN` span (with a
+/// `visits` attribute) in its own `analyze/<name>/shard.NNN` journal shard,
+/// parented on the same `analyze` root as the stage spans. Partials return
+/// in shard order, so a deterministic merge downstream sees the same
+/// sequence a serial scan would.
+fn scan_shards<'c, P: Send>(
+    obs: &StageObs<'_>,
+    name: &str,
+    crawl: &'c CrawlRecord,
+    shards: usize,
+    scan: impl Fn(CrawlSlice<'c>) -> P + Sync,
+) -> Vec<P> {
+    let slices = crawl.shards(shards);
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, P)>> = Mutex::new(Vec::with_capacity(slices.len()));
+    let workers = slices.len().clamp(1, MAX_SHARD_WORKERS);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&slice) = slices.get(i) else { break };
+                let journal = format!("analyze/{name}/shard.{i:03}");
+                let mut tracer = match &obs.parent {
+                    Some(link) => obs.trace.tracer_under(&journal, link.clone()),
+                    None => obs.trace.tracer(&journal),
+                };
+                tracer.open(&format!("stage.{name}.shard.{i:03}"));
+                tracer.attr("visits", slice.len());
+                let part = scan(slice);
+                tracer.close();
+                tracer.finish();
+                done.lock().expect("shard partials").push((i, part));
+            });
+        }
+    })
+    .expect("shard scan scope");
+    obs.metrics
+        .counter(&format!("stage.{name}.shard_scans"))
+        .add(slices.len() as u64);
+    let mut parts = done.into_inner().expect("shard partials");
+    parts.sort_by_key(|&(i, _)| i);
+    parts.into_iter().map(|(_, p)| p).collect()
+}
+
 /// Runs the selected stages (a set produced by [`expand_selection`] or
 /// [`all_stages`]) in dependency waves, independent stages concurrently.
 /// Returns the outputs plus one timing per executed stage, in paper order.
@@ -680,15 +794,16 @@ pub fn run_observed(
         let h_cookies =
             want(COOKIES).then(|| s.spawn(|_| observed(obs, COOKIES, || stage_cookies(ctx))));
         let h_sync = want(COOKIE_SYNC)
-            .then(|| s.spawn(|_| observed(obs, COOKIE_SYNC, || stage_cookie_sync(ctx))));
+            .then(|| s.spawn(|_| observed(obs, COOKIE_SYNC, || stage_cookie_sync(ctx, obs))));
         let h_webrtc =
-            want(WEBRTC).then(|| s.spawn(|_| observed(obs, WEBRTC, || stage_webrtc(ctx))));
-        let h_https = want(HTTPS).then(|| s.spawn(|_| observed(obs, HTTPS, || stage_https(ctx))));
+            want(WEBRTC).then(|| s.spawn(|_| observed(obs, WEBRTC, || stage_webrtc(ctx, obs))));
+        let h_https =
+            want(HTTPS).then(|| s.spawn(|_| observed(obs, HTTPS, || stage_https(ctx, obs))));
         let h_malware =
-            want(MALWARE).then(|| s.spawn(|_| observed(obs, MALWARE, || stage_malware(ctx))));
+            want(MALWARE).then(|| s.spawn(|_| observed(obs, MALWARE, || stage_malware(ctx, obs))));
         let h_geo = want(GEO).then(|| s.spawn(|_| observed(obs, GEO, || stage_geo(db, ctx))));
         let h_banners = want(CONSENT_BANNERS).then(|| {
-            s.spawn(|_| observed(obs, CONSENT_BANNERS, || stage_consent_banners(db, ctx)))
+            s.spawn(|_| observed(obs, CONSENT_BANNERS, || stage_consent_banners(db, ctx, obs)))
         });
         let h_policies =
             want(POLICIES).then(|| s.spawn(|_| observed(obs, POLICIES, || stage_policies(ctx))));
@@ -778,7 +893,7 @@ pub fn run_observed(
         let h_fp = want(FINGERPRINTING).then(|| {
             s.spawn(move |_| {
                 let rtc = rtc.as_ref().expect("webrtc ran (dependency)");
-                observed(obs, FINGERPRINTING, || stage_fingerprinting(ctx, rtc))
+                observed(obs, FINGERPRINTING, || stage_fingerprinting(ctx, rtc, obs))
             })
         });
         let h_owners = want(OWNERSHIP).then(|| {
@@ -894,20 +1009,44 @@ fn stage_cookies(ctx: &AnalysisContext<'_>) -> ((CookieStats, Vec<Table4Row>), u
     ((stats, table4), ctx.cookie_rows.len(), produced)
 }
 
-fn stage_cookie_sync(ctx: &AnalysisContext<'_>) -> (SyncReport, usize, usize) {
-    let report = sync::detect_cached(
-        ctx.porn_es,
-        &ctx.ranked,
-        100.min(ctx.ranked.len()),
-        SyncOptions::default(),
-        &ctx.hosts,
-    );
+fn stage_cookie_sync(ctx: &AnalysisContext<'_>, obs: &StageObs<'_>) -> (SyncReport, usize, usize) {
+    let top_k = 100.min(ctx.ranked.len());
+    let options = SyncOptions::default();
+    let report = if ctx.shards <= 1 {
+        sync::detect_cached(ctx.porn_es, &ctx.ranked, top_k, options, &ctx.hosts)
+    } else {
+        // Two sharded passes: register every cookie value with its globally
+        // earliest setter, then match request parameters against the merged
+        // registrations (session order is honoured via the first-set index).
+        let regs = sync::merge_registrations(scan_shards(
+            obs,
+            "cookie-sync.registrations",
+            ctx.porn_es,
+            ctx.shards,
+            |slice| sync::scan_registrations(slice, options, &ctx.hosts),
+        ));
+        let matches = sync::merge_matches(scan_shards(
+            obs,
+            "cookie-sync.matches",
+            ctx.porn_es,
+            ctx.shards,
+            |slice| sync::scan_matches(slice, &regs, options, &ctx.hosts),
+        ));
+        sync::finalize(matches, &ctx.ranked, top_k)
+    };
     let produced = report.pairs.len();
     (report, ctx.porn_es.success_count(), produced)
 }
 
-fn stage_webrtc(ctx: &AnalysisContext<'_>) -> (WebRtcReport, usize, usize) {
-    let report = webrtc::detect(ctx.porn_es, &ctx.classifier);
+fn stage_webrtc(ctx: &AnalysisContext<'_>, obs: &StageObs<'_>) -> (WebRtcReport, usize, usize) {
+    let report = if ctx.shards <= 1 {
+        webrtc::detect(ctx.porn_es, &ctx.classifier)
+    } else {
+        let parts = scan_shards(obs, WEBRTC, ctx.porn_es, ctx.shards, |slice| {
+            webrtc::scan(slice, &ctx.classifier)
+        });
+        webrtc::finalize(webrtc::merge(parts), &ctx.classifier)
+    };
     let produced = report.scripts.len();
     (report, ctx.porn_es.success_count(), produced)
 }
@@ -915,8 +1054,16 @@ fn stage_webrtc(ctx: &AnalysisContext<'_>) -> (WebRtcReport, usize, usize) {
 fn stage_fingerprinting(
     ctx: &AnalysisContext<'_>,
     rtc: &WebRtcReport,
+    obs: &StageObs<'_>,
 ) -> ((FingerprintReport, Vec<Table5Row>), usize, usize) {
-    let fp = fingerprint::detect(ctx.porn_es, &ctx.classifier);
+    let fp = if ctx.shards <= 1 {
+        fingerprint::detect(ctx.porn_es, &ctx.classifier)
+    } else {
+        let parts = scan_shards(obs, FINGERPRINTING, ctx.porn_es, ctx.shards, |slice| {
+            fingerprint::scan(slice, &ctx.classifier)
+        });
+        fingerprint::finalize(fingerprint::merge(parts))
+    };
     let table5 = fingerprint::table5(
         &fp,
         rtc,
@@ -929,15 +1076,29 @@ fn stage_fingerprinting(
     ((fp, table5), ctx.porn_es.success_count(), produced)
 }
 
-fn stage_https(ctx: &AnalysisContext<'_>) -> (HttpsReport, usize, usize) {
-    let report = https::report(ctx.porn_es, &ctx.tier_of, ctx.client_ip);
+fn stage_https(ctx: &AnalysisContext<'_>, obs: &StageObs<'_>) -> (HttpsReport, usize, usize) {
+    let report = if ctx.shards <= 1 {
+        https::report(ctx.porn_es, &ctx.tier_of, ctx.client_ip)
+    } else {
+        let parts = scan_shards(obs, HTTPS, ctx.porn_es, ctx.shards, |slice| {
+            https::scan(slice, &ctx.tier_of, ctx.client_ip)
+        });
+        https::finalize(https::merge(parts))
+    };
     let produced = report.rows.len();
     (report, ctx.porn_es.visits.len(), produced)
 }
 
-fn stage_malware(ctx: &AnalysisContext<'_>) -> (MalwareReport, usize, usize) {
+fn stage_malware(ctx: &AnalysisContext<'_>, obs: &StageObs<'_>) -> (MalwareReport, usize, usize) {
     let threat = WorldThreatFeed(ctx.world);
-    let report = malware::detect(ctx.porn_es, &threat);
+    let report = if ctx.shards <= 1 {
+        malware::detect(ctx.porn_es, &threat)
+    } else {
+        let parts = scan_shards(obs, MALWARE, ctx.porn_es, ctx.shards, |slice| {
+            malware::scan(slice, &threat)
+        });
+        malware::merge(parts)
+    };
     let produced = report.flagged_sites.len() + report.mining_sites.len();
     (report, ctx.porn_es.success_count(), produced)
 }
@@ -962,7 +1123,7 @@ fn stage_geo(
                 .crawl(country, CorpusLabel::Porn)
                 .expect("per-country porn crawl recorded");
             input += crawl.visits.len();
-            let extract = ctx.extracts.get(crawl, false);
+            let extract = ctx.extracts.get_sharded(crawl, false, ctx.shards);
             geo::summarize_extracted(crawl, &extract, &ctx.classifier, &threat)
         })
         .collect();
@@ -975,16 +1136,40 @@ fn stage_geo(
 fn stage_consent_banners(
     db: &MeasurementDb,
     ctx: &AnalysisContext<'_>,
+    obs: &StageObs<'_>,
 ) -> ((BannerBreakdown, BannerBreakdown), usize, usize) {
     let oracle = InspectionOracle::new(&ctx.world.sites);
     let verify = |domain: &str| oracle.confirm_banner(domain);
-    let (banners_eu, _) = consent::breakdown(ctx.porn_es, &verify);
+    let breakdown = |crawl: &CrawlRecord, tag: &str| {
+        if ctx.shards <= 1 {
+            let (b, _) = consent::breakdown(crawl, &verify);
+            b
+        } else {
+            // Each worker gets its own oracle: the shared one counts its
+            // queries in a `Cell`, which must not cross shard threads.
+            let parts = scan_shards(obs, tag, crawl, ctx.shards, |slice| {
+                let oracle = InspectionOracle::new(&ctx.world.sites);
+                let verify = |domain: &str| oracle.confirm_banner(domain);
+                consent::scan(slice, &verify)
+            });
+            let mut observations = Vec::new();
+            let mut rejected = 0usize;
+            for (part, part_rejected) in parts {
+                observations.extend(part);
+                rejected += part_rejected;
+            }
+            let (b, _) =
+                consent::finalize(crawl.country, crawl.success_count(), observations, rejected);
+            b
+        }
+    };
+    let banners_eu = breakdown(ctx.porn_es, "consent-banners.eu");
     // The paper's Table 8 contrasts the EU with the USA; without a USA
     // crawl the comparison degrades to EU-vs-EU.
     let usa_crawl = db
         .crawl(Country::Usa, CorpusLabel::Porn)
         .unwrap_or(ctx.porn_es);
-    let (banners_usa, _) = consent::breakdown(usa_crawl, &verify);
+    let banners_usa = breakdown(usa_crawl, "consent-banners.usa");
     let input = ctx.porn_es.success_count() + usa_crawl.success_count();
     ((banners_eu, banners_usa), input, 2)
 }

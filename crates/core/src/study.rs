@@ -214,12 +214,38 @@ impl Study {
         Self::run_on_observed(world, config, &ObsContext::disabled())
     }
 
+    /// [`run_on`](Self::run_on) with the analysis layer fanned over
+    /// `shards` contiguous visit-range shards: the decomposable stages scan
+    /// per-shard partials off a bounded work queue and merge them in shard
+    /// order, so peak per-stage memory is O(shard) instead of O(crawl).
+    /// Results are byte-identical to [`run_on`] for every shard count; the
+    /// [`StageReport`] additionally carries per-crawl [`ShardStat`] rows
+    /// when `shards > 1`.
+    ///
+    /// [`ShardStat`]: crate::results::ShardStat
+    pub fn run_on_sharded(world: &World, config: &StudyConfig, shards: usize) -> StudyResults {
+        Self::run_on_sharded_observed(world, config, &ObsContext::disabled(), shards)
+    }
+
     /// [`run_on`](Self::run_on) with telemetry: the collection layer
     /// journals under a `collect` root span, the analysis layer under an
     /// `analyze` root (one `context.build` child plus a `stage.<name>`
     /// span per stage), and every transport/cache/stage counter lands in
     /// `obs.metrics`. Results are byte-identical to [`run_on`].
     pub fn run_on_observed(world: &World, config: &StudyConfig, obs: &ObsContext) -> StudyResults {
+        Self::run_on_sharded_observed(world, config, obs, 1)
+    }
+
+    /// [`run_on_sharded`](Self::run_on_sharded) with telemetry: sharded
+    /// stages additionally record one `stage.<name>.shard.NNN` span per
+    /// shard scan. At `shards == 1` the span layout, metrics and results
+    /// are byte-identical to [`run_on_observed`](Self::run_on_observed).
+    pub fn run_on_sharded_observed(
+        world: &World,
+        config: &StudyConfig,
+        obs: &ObsContext,
+        shards: usize,
+    ) -> StudyResults {
         // Layer 1: collect every crawl into the measurement DB.
         let (db, crawl_timings) = Self::collect_db_observed(world, config, obs);
 
@@ -227,7 +253,7 @@ impl Study {
         let mut tracer = obs.trace.tracer("analyze");
         tracer.open("analyze");
         tracer.open("context.build");
-        let ctx = AnalysisContext::build_in(world, config, &db, &obs.metrics);
+        let ctx = AnalysisContext::build_sharded_in(world, config, &db, &obs.metrics, shards);
         tracer.attr("corpus_sanitized", ctx.corpus.sanitized.len());
         tracer.close();
         let stage_obs = StageObs {
@@ -244,12 +270,18 @@ impl Study {
         // Layer 3: assemble results with the instrumentation report.
         let best_ranks = ctx.best_ranks.clone();
         let caches = ctx.cache_counters();
+        let shard_rows = if shards > 1 {
+            stages::shard_stats(&db, shards)
+        } else {
+            Vec::new()
+        };
         outputs.into_results(
             best_ranks,
             StageReport {
                 crawls: crawl_timings,
                 stages: stage_timings,
                 caches,
+                shards: shard_rows,
             },
         )
     }

@@ -1,5 +1,11 @@
 //! The measurement database — this repository's stand-in for OpenWPM's
 //! SQLite store, plus the interaction crawler's records.
+//!
+//! Crawl rows are columnar: the strings a crawl observes (crawled domains,
+//! request hosts, final-URL hosts) are interned into a per-crawl
+//! [`StrTable`] at record time, so a [`SiteVisitRecord`] carries [`Sym`]
+//! ids instead of owned strings and analyses resolve names through the
+//! crawl (or any [`CrawlSlice`] of it).
 
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
@@ -8,6 +14,8 @@ use std::time::Duration;
 use redlight_browser::PageVisit;
 use redlight_net::geoip::Country;
 use serde::{Deserialize, Serialize};
+
+use crate::store::{shard_ranges, CrawlSlice, StrTable, Sym};
 
 /// Which corpus a crawl covered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -18,13 +26,18 @@ pub enum CorpusLabel {
     Regular,
 }
 
-/// One site's visit inside a crawl.
+/// One site's visit inside a crawl. Rows are appended through
+/// [`CrawlRecord::push_visit`] / [`CrawlRecord::push_visit_with`], which
+/// intern the string columns into the owning crawl's table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SiteVisitRecord {
-    /// The crawled domain (corpus entry).
-    pub domain: String,
+    /// The crawled domain (corpus entry), interned in the crawl's table.
+    pub domain: Sym,
     /// Visit.
     pub visit: PageVisit,
+    /// The host of each request in `visit.requests`, interned in the
+    /// crawl's table (same order as the requests).
+    pub request_hosts: Vec<Sym>,
     /// Document-load attempts spent on the site (1 = first try succeeded
     /// or no retry budget; 0 = the corpus entry never parsed into a URL).
     pub attempts: u32,
@@ -32,17 +45,17 @@ pub struct SiteVisitRecord {
     pub wall: Duration,
 }
 
-impl SiteVisitRecord {
-    /// A single-attempt record (the overwhelmingly common case; retrying
-    /// crawlers fill the attempt/wall fields themselves).
-    pub fn new(domain: impl Into<String>, visit: PageVisit) -> Self {
-        SiteVisitRecord {
-            domain: domain.into(),
-            visit,
-            attempts: 1,
-            wall: Duration::ZERO,
-        }
-    }
+/// Single-pass totals over a crawl's visit column — attempts, retries and
+/// failures in one sweep (the `--timings` roll-up used to walk the visits
+/// three times for these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VisitRollup {
+    /// Total document-load attempts across all visits.
+    pub attempts: u64,
+    /// Attempts beyond each visit's first.
+    pub retries: u64,
+    /// Visits whose document never loaded.
+    pub failures: u64,
 }
 
 /// One crawl: a country × corpus sweep with a single browser session.
@@ -58,9 +71,99 @@ pub struct CrawlRecord {
     pub client_ip: Ipv4Addr,
     /// Visits.
     pub visits: Vec<SiteVisitRecord>,
+    /// The crawl's interned string table (domains + request hosts).
+    names: StrTable,
 }
 
 impl CrawlRecord {
+    /// An empty crawl whose visit rows are appended through
+    /// [`push_visit`](Self::push_visit) /
+    /// [`push_visit_with`](Self::push_visit_with).
+    pub fn new(country: Country, corpus: CorpusLabel, client_ip: Ipv4Addr) -> Self {
+        CrawlRecord {
+            country,
+            corpus,
+            client_ip,
+            visits: Vec::new(),
+            names: StrTable::new(),
+        }
+    }
+
+    /// Appends a single-attempt visit row (the overwhelmingly common case;
+    /// retrying crawlers record attempts/wall via
+    /// [`push_visit_with`](Self::push_visit_with)).
+    pub fn push_visit(&mut self, domain: &str, visit: PageVisit) {
+        self.push_visit_with(domain, visit, 1, Duration::ZERO);
+    }
+
+    /// Appends a visit row, interning the domain and every request host
+    /// into the crawl's string table at record time.
+    pub fn push_visit_with(
+        &mut self,
+        domain: &str,
+        visit: PageVisit,
+        attempts: u32,
+        wall: Duration,
+    ) {
+        let domain = self.names.intern(domain);
+        let request_hosts = visit
+            .requests
+            .iter()
+            .map(|r| self.names.intern(r.url.host().as_str()))
+            .collect();
+        if let Some(final_url) = &visit.final_url {
+            self.names.intern(final_url.host().as_str());
+        }
+        self.visits.push(SiteVisitRecord {
+            domain,
+            visit,
+            request_hosts,
+            attempts,
+            wall,
+        });
+    }
+
+    /// Resolves an interned name through this crawl's table.
+    pub fn name(&self, sym: Sym) -> &str {
+        self.names.resolve(sym)
+    }
+
+    /// The crawl's interned string table.
+    pub fn names(&self) -> &StrTable {
+        &self.names
+    }
+
+    /// The whole crawl as one zero-copy slice.
+    pub fn full(&self) -> CrawlSlice<'_> {
+        CrawlSlice::new(
+            self.country,
+            self.corpus,
+            self.client_ip,
+            &self.visits,
+            0,
+            &self.names,
+        )
+    }
+
+    /// Splits the crawl into at most `n` contiguous near-equal slices (all
+    /// sharing this crawl's string table) whose in-order concatenation is
+    /// exactly [`full`](Self::full).
+    pub fn shards(&self, n: usize) -> Vec<CrawlSlice<'_>> {
+        shard_ranges(self.visits.len(), n)
+            .into_iter()
+            .map(|(lo, hi)| {
+                CrawlSlice::new(
+                    self.country,
+                    self.corpus,
+                    self.client_ip,
+                    &self.visits[lo..hi],
+                    lo,
+                    &self.names,
+                )
+            })
+            .collect()
+    }
+
     /// Visits whose document loaded successfully.
     pub fn successful(&self) -> impl Iterator<Item = &SiteVisitRecord> {
         self.visits.iter().filter(|v| v.visit.success)
@@ -87,6 +190,17 @@ impl CrawlRecord {
             .iter()
             .map(|v| v.attempts.saturating_sub(1) as u64)
             .sum()
+    }
+
+    /// Attempts, retries and failures in one pass over the visit column.
+    pub fn rollup(&self) -> VisitRollup {
+        let mut out = VisitRollup::default();
+        for v in &self.visits {
+            out.attempts += v.attempts as u64;
+            out.retries += v.attempts.saturating_sub(1) as u64;
+            out.failures += u64::from(!v.visit.success);
+        }
+        out
     }
 }
 
@@ -184,10 +298,27 @@ impl MeasurementDb {
     }
 
     /// The distinct countries with at least one crawl, in ascending
-    /// [`Country`] order.
+    /// [`Country`] order. The projection is explicitly sorted before the
+    /// dedup, so correctness never rides on the index's key layout keeping
+    /// equal countries adjacent.
     pub fn countries(&self) -> Vec<Country> {
         let mut out: Vec<Country> = self.crawl_index.keys().map(|&(c, _)| c).collect();
+        out.sort_unstable();
         out.dedup();
+        out
+    }
+
+    /// A merged global string table over every crawl's per-crawl table plus
+    /// the interaction domains — the store-wide dedup view the shard stats
+    /// report.
+    pub fn global_names(&self) -> StrTable {
+        let mut out = StrTable::new();
+        for crawl in &self.crawls {
+            out.absorb(crawl.names());
+        }
+        for record in &self.interactions {
+            out.intern(&record.domain);
+        }
         out
     }
 
@@ -205,30 +336,19 @@ mod tests {
     use redlight_net::url::Url;
 
     fn crawl_with(country: Country, corpus: CorpusLabel, domains: &[(&str, bool)]) -> CrawlRecord {
-        CrawlRecord {
-            country,
-            corpus,
-            client_ip: Ipv4Addr::new(203, 0, 113, 77),
-            visits: domains
-                .iter()
-                .map(|(d, ok)| {
-                    SiteVisitRecord::new(
-                        *d,
-                        if *ok {
-                            PageVisit {
-                                success: true,
-                                ..PageVisit::failed(
-                                    Url::parse(&format!("https://{d}/")).unwrap(),
-                                    false,
-                                )
-                            }
-                        } else {
-                            PageVisit::failed(Url::parse(&format!("https://{d}/")).unwrap(), true)
-                        },
-                    )
-                })
-                .collect(),
+        let mut crawl = CrawlRecord::new(country, corpus, Ipv4Addr::new(203, 0, 113, 77));
+        for (d, ok) in domains {
+            let visit = if *ok {
+                PageVisit {
+                    success: true,
+                    ..PageVisit::failed(Url::parse(&format!("https://{d}/")).unwrap(), false)
+                }
+            } else {
+                PageVisit::failed(Url::parse(&format!("https://{d}/")).unwrap(), true)
+            };
+            crawl.push_visit(d, visit);
         }
+        crawl
     }
 
     #[test]
@@ -278,5 +398,81 @@ mod tests {
         assert_eq!(db.crawls_in(Country::Spain).count(), 3);
         assert_eq!(db.crawls_in(Country::Usa).count(), 1);
         assert_eq!(db.countries(), vec![Country::Usa, Country::Spain]);
+    }
+
+    #[test]
+    fn countries_dedup_survives_interleaved_insertion() {
+        // Regression: insertion order interleaving countries and corpora
+        // must never produce duplicate countries — the projection is
+        // sorted before the dedup, not inherited from insertion order.
+        let mut db = MeasurementDb::new();
+        for (country, corpus) in [
+            (Country::Russia, CorpusLabel::Porn),
+            (Country::Usa, CorpusLabel::Porn),
+            (Country::Russia, CorpusLabel::Regular),
+            (Country::Spain, CorpusLabel::Porn),
+            (Country::Usa, CorpusLabel::Regular),
+            (Country::Spain, CorpusLabel::Regular),
+        ] {
+            db.push_crawl(crawl_with(country, corpus, &[("a.com", true)]));
+        }
+        assert_eq!(
+            db.countries(),
+            vec![Country::Usa, Country::Spain, Country::Russia]
+        );
+    }
+
+    #[test]
+    fn interning_and_rollup_single_pass() {
+        let mut crawl = crawl_with(
+            Country::Spain,
+            CorpusLabel::Porn,
+            &[("a.com", true), ("b.com", false), ("a.com", true)],
+        );
+        // Equal domains share one sym; resolution round-trips.
+        assert_eq!(crawl.visits[0].domain, crawl.visits[2].domain);
+        assert_ne!(crawl.visits[0].domain, crawl.visits[1].domain);
+        assert_eq!(crawl.name(crawl.visits[1].domain), "b.com");
+        crawl.visits[1].attempts = 3;
+        let rollup = crawl.rollup();
+        assert_eq!(rollup.attempts, crawl.total_attempts());
+        assert_eq!(rollup.retries, crawl.total_retries());
+        assert_eq!(rollup.failures, crawl.failure_count() as u64);
+        assert_eq!(rollup.failures, 1);
+    }
+
+    #[test]
+    fn shards_partition_the_crawl() {
+        let crawl = crawl_with(
+            Country::Spain,
+            CorpusLabel::Porn,
+            &[
+                ("a.com", true),
+                ("b.com", false),
+                ("c.com", true),
+                ("d.com", true),
+                ("e.com", false),
+            ],
+        );
+        for n in [1usize, 2, 3, 5, 9] {
+            let shards = crawl.shards(n);
+            assert_eq!(shards.len(), n.min(crawl.visits.len()));
+            let total: usize = shards.iter().map(|s| s.len()).sum();
+            assert_eq!(total, crawl.visits.len());
+            let successes: usize = shards.iter().map(|s| s.success_count()).sum();
+            assert_eq!(successes, crawl.success_count());
+            let mut expected_offset = 0;
+            for shard in &shards {
+                assert_eq!(shard.offset, expected_offset);
+                expected_offset += shard.len();
+                for v in shard.visits {
+                    // Shards resolve through the shared table.
+                    assert!(!shard.name(v.domain).is_empty());
+                }
+            }
+        }
+        let full = crawl.full();
+        assert_eq!(full.len(), 5);
+        assert_eq!(full.offset, 0);
     }
 }

@@ -13,7 +13,10 @@
 //!   parent/grandparent verification), privacy-policy retrieval, and
 //!   monetization-signal collection;
 //! * [`db`] — the measurement database (the OpenWPM SQLite stand-in),
-//!   indexed by country × corpus;
+//!   indexed by country × corpus, with per-crawl interned string tables;
+//! * [`store`] — the columnar shard store: arena-backed string interning
+//!   ([`store::StrTable`] / [`store::Sym`]) and zero-copy
+//!   [`store::CrawlSlice`] shards the map/reduce analysis streams;
 //! * [`parallel`] — a crossbeam worker pool that runs independent crawl
 //!   jobs concurrently (crawls are independent sessions; within a crawl the
 //!   session is sequential, preserving cookie-sync observability);
@@ -35,10 +38,12 @@ pub mod openwpm;
 pub mod parallel;
 pub mod plan;
 pub mod selenium;
+pub mod store;
 
 pub use corpus::{CorpusCompiler, CorpusReport};
-pub use db::{CrawlRecord, InteractionRecord, MeasurementDb, SiteVisitRecord};
+pub use db::{CrawlRecord, InteractionRecord, MeasurementDb, SiteVisitRecord, VisitRollup};
 pub use openwpm::OpenWpmCrawler;
 pub use plan::{CrawlPlan, CrawlSpec, CrawlTiming, DomainSel, InteractionSpec, PlanDomains};
 pub use redlight_net::transport::{NetProfile, RetryPolicy};
 pub use selenium::{InteractionCrawl, SeleniumCrawler};
+pub use store::{CrawlSlice, StrTable, Sym};

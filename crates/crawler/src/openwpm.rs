@@ -24,7 +24,7 @@ use redlight_obs::{Registry, Trace, Tracer};
 use redlight_websim::server::WebServer;
 use redlight_websim::World;
 
-use crate::db::{CorpusLabel, CrawlRecord, SiteVisitRecord};
+use crate::db::{CorpusLabel, CrawlRecord};
 
 /// Sites per `visits.NNN` batch span in the crawl journal.
 pub const VISIT_BATCH: usize = 25;
@@ -112,7 +112,8 @@ impl<'w> OpenWpmCrawler<'w> {
         tracer.attr("sites", domains.len());
         tracer.attr("store_dom", self.config.store_dom);
 
-        let mut visits = Vec::with_capacity(domains.len());
+        let mut record = CrawlRecord::new(self.config.country, self.config.corpus, client_ip);
+        record.visits.reserve(domains.len());
         for (batch_idx, batch) in domains.chunks(VISIT_BATCH).enumerate() {
             tracer.open(&format!("visits.{batch_idx:03}"));
             let mut batch_attempts = 0u64;
@@ -123,12 +124,7 @@ impl<'w> OpenWpmCrawler<'w> {
                     // A corpus entry that never parses still costs a visit
                     // slot: dropping it here would silently shrink the crawl
                     // and skew every per-corpus denominator downstream.
-                    visits.push(SiteVisitRecord {
-                        domain: domain.clone(),
-                        visit: unparsable_visit(),
-                        attempts: 0,
-                        wall: started.elapsed(),
-                    });
+                    record.push_visit_with(domain, unparsable_visit(), 0, started.elapsed());
                     attempts_hist.record(0);
                     requests_hist.record(0);
                     failed_visits.inc();
@@ -152,12 +148,7 @@ impl<'w> OpenWpmCrawler<'w> {
                 if !self.config.store_dom {
                     visit.dom_html = String::new();
                 }
-                visits.push(SiteVisitRecord {
-                    domain: domain.clone(),
-                    visit,
-                    attempts,
-                    wall: started.elapsed(),
-                });
+                record.push_visit_with(domain, visit, attempts, started.elapsed());
             }
             tracer.attr("sites", batch.len());
             tracer.attr("attempts", batch_attempts);
@@ -167,15 +158,7 @@ impl<'w> OpenWpmCrawler<'w> {
         tracer.close();
 
         let stats = self.net.metered.then(|| meter.snapshot());
-        (
-            CrawlRecord {
-                country: self.config.country,
-                corpus: self.config.corpus,
-                client_ip,
-                visits,
-            },
-            stats,
-        )
+        (record, stats)
     }
 }
 
@@ -268,7 +251,7 @@ mod tests {
         // Visit counts always equal corpus size, malformed entries included.
         assert_eq!(crawl.visits.len(), domains.len());
         let bad = &crawl.visits[0];
-        assert_eq!(bad.domain, "not a hostname");
+        assert_eq!(crawl.name(bad.domain), "not a hostname");
         assert!(!bad.visit.success);
         assert_eq!(bad.attempts, 0, "nothing was ever fetched");
         assert!(crawl.visits[1].visit.success);

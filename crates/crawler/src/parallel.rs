@@ -72,6 +72,9 @@ pub struct JobOutcome<R> {
     pub attempts: u64,
     /// Attempts beyond each site's first.
     pub retries: u64,
+    /// Sites whose document never loaded (interaction jobs: unreachable
+    /// sites).
+    pub failures: u64,
 }
 
 /// Runs heterogeneous OpenWPM-style crawl jobs concurrently, returning each
@@ -114,11 +117,14 @@ pub fn run_crawl_jobs_observed(
                         .with_net(job.net.clone())
                         .crawl_observed(job.domains, &mut tracer, &registry);
                     tracer.finish();
+                    // One pass over the visit column for all three totals.
+                    let rollup = record.rollup();
                     let outcome = JobOutcome {
                         wall: start.elapsed(),
                         transport,
-                        attempts: record.total_attempts(),
-                        retries: record.total_retries(),
+                        attempts: rollup.attempts,
+                        retries: rollup.retries,
+                        failures: rollup.failures,
                         output: record,
                     };
                     (outcome, registry.snapshot())
@@ -202,6 +208,7 @@ pub fn run_interaction_jobs_observed(
                         transport: crawl.transport,
                         attempts: crawl.attempts,
                         retries: crawl.retries,
+                        failures: crawl.records.iter().filter(|r| !r.reachable).count() as u64,
                         output: crawl.records,
                     };
                     (outcome, registry.snapshot())

@@ -164,7 +164,7 @@ impl CrawlPlan {
                 sites: record.visits.len(),
                 attempts: job.attempts,
                 retries: job.retries,
-                failures: record.failure_count() as u64,
+                failures: job.failures,
                 wall: job.wall,
                 net: job.transport,
             };
@@ -185,7 +185,7 @@ impl CrawlPlan {
                 sites: records.len(),
                 attempts: job.attempts,
                 retries: job.retries,
-                failures: records.iter().filter(|r| !r.reachable).count() as u64,
+                failures: job.failures,
                 wall: job.wall,
                 net: job.transport,
             };

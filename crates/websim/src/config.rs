@@ -74,6 +74,22 @@ impl WorldConfig {
         }
     }
 
+    /// The same world grown `factor`× in every population: site sources,
+    /// false positives, the regular reference corpus and both tracker
+    /// long tails all scale multiplicatively, so the grown world keeps the
+    /// paper's proportions (`reproduce --sites-scale <n>`). `factor == 1`
+    /// returns the config unchanged.
+    pub fn scaled(mut self, factor: usize) -> Self {
+        self.n_directory_porn *= factor;
+        self.n_alexa_adult_porn *= factor;
+        self.n_keyword_sites *= factor;
+        self.n_false_positives *= factor;
+        self.n_regular *= factor;
+        self.n_longtail_trackers *= factor;
+        self.n_regular_trackers *= factor;
+        self
+    }
+
     /// Total porn-candidate count before sanitization (the paper's 8,099).
     pub fn candidate_count(&self) -> usize {
         self.n_directory_porn + self.n_alexa_adult_porn + self.n_keyword_sites
@@ -95,6 +111,17 @@ mod tests {
         assert_eq!(c.candidate_count(), 8_099);
         assert_eq!(c.sanitized_count(), 6_843);
         assert_eq!(c.n_regular, 9_688);
+    }
+
+    #[test]
+    fn scaled_multiplies_every_population() {
+        let base = WorldConfig::tiny(7);
+        let grown = base.clone().scaled(4);
+        assert_eq!(grown.candidate_count(), base.candidate_count() * 4);
+        assert_eq!(grown.sanitized_count(), base.sanitized_count() * 4);
+        assert_eq!(grown.n_regular, base.n_regular * 4);
+        assert_eq!(grown.n_longtail_trackers, base.n_longtail_trackers * 4);
+        assert_eq!(base.clone().scaled(1), base);
     }
 
     #[test]

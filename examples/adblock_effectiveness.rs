@@ -14,7 +14,7 @@ use redlight::analysis::{ats, cookies, crossborder, fingerprint, sync, thirdpart
 use redlight::blocklist::FilterSet;
 use redlight::browser::Browser;
 use redlight::crawler::corpus::CorpusCompiler;
-use redlight::crawler::db::{CorpusLabel, CrawlRecord, SiteVisitRecord};
+use redlight::crawler::db::{CorpusLabel, CrawlRecord};
 use redlight::net::geoip::Country;
 use redlight::net::url::Url;
 use redlight::websim::server::BrowserKind;
@@ -30,19 +30,14 @@ fn crawl(world: &World, domains: &[String], with_blocker: bool) -> CrawlRecord {
         filters.add_list(&world.easyprivacy);
         browser.set_blocker(filters);
     }
-    let visits = domains
-        .iter()
-        .filter_map(|domain| {
-            let url = Url::parse(&format!("https://{domain}/")).ok()?;
-            Some(SiteVisitRecord::new(domain.clone(), browser.visit(&url)))
-        })
-        .collect();
-    CrawlRecord {
-        country: Country::Spain,
-        corpus: CorpusLabel::Porn,
-        client_ip,
-        visits,
+    let mut record = CrawlRecord::new(Country::Spain, CorpusLabel::Porn, client_ip);
+    for domain in domains {
+        let Ok(url) = Url::parse(&format!("https://{domain}/")) else {
+            continue;
+        };
+        record.push_visit(domain, browser.visit(&url));
     }
+    record
 }
 
 fn main() {

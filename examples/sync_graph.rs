@@ -11,7 +11,7 @@
 use redlight::analysis::sync;
 use redlight::browser::Browser;
 use redlight::crawler::corpus::CorpusCompiler;
-use redlight::crawler::db::{CorpusLabel, CrawlRecord, SiteVisitRecord};
+use redlight::crawler::db::{CorpusLabel, CrawlRecord};
 use redlight::crawler::openwpm::{CrawlConfig, OpenWpmCrawler};
 use redlight::net::geoip::Country;
 use redlight::net::url::Url;
@@ -50,21 +50,14 @@ fn main() {
     }
 
     // --- Control: restart the browser for every visit. ---
-    let mut cold_visits = Vec::new();
-    let mut client_ip = std::net::Ipv4Addr::UNSPECIFIED;
+    let client_ip = Browser::context_for(&world, Country::Spain, BrowserKind::OpenWpm).client_ip;
+    let mut cold_crawl = CrawlRecord::new(Country::Spain, CorpusLabel::Porn, client_ip);
     for domain in &corpus.sanitized {
         let ctx = Browser::context_for(&world, Country::Spain, BrowserKind::OpenWpm);
-        client_ip = ctx.client_ip;
         let mut fresh = Browser::new(&world, ctx); // empty jar every time
         let url = Url::parse(&format!("https://{domain}/")).expect("valid url");
-        cold_visits.push(SiteVisitRecord::new(domain.clone(), fresh.visit(&url)));
+        cold_crawl.push_visit(domain, fresh.visit(&url));
     }
-    let cold_crawl = CrawlRecord {
-        country: Country::Spain,
-        corpus: CorpusLabel::Porn,
-        client_ip,
-        visits: cold_visits,
-    };
     let cold = sync::detect(&cold_crawl, &corpus.sanitized, 100);
     println!(
         "\nrestarting the browser per visit: syncing on {} sites, {} pairs — \

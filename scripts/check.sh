@@ -19,11 +19,19 @@ cargo test -q -p redlight-blocklist --test matcher_equivalence
 echo "==> transport fault matrix (determinism, passthrough, retry budget)"
 cargo test -q --test transport_faults
 
+echo "==> shard map/reduce equivalence (per-shard merge == monolithic)"
+# The workspace run above already covers the full 256-case sweep; this
+# named step re-confirms with a smaller draw so the gate stays fast.
+PROPTEST_CASES=32 cargo test -q --test shard_equivalence
+
 echo "==> ats_match bench smoke (--test mode, 1 iteration per bench)"
 cargo bench -p redlight-bench --bench ats_match -- --test
 
 echo "==> transport bench smoke (--test mode, 1 iteration per bench)"
 cargo bench -p redlight-bench --bench transport -- --test
+
+echo "==> scale bench smoke (--test mode, 1x sweep only)"
+cargo bench -p redlight-bench --bench scale -- --test
 
 echo "==> observability exporter smoke (collection-only, all three formats)"
 OBS_DIR="$(mktemp -d)"

@@ -6,7 +6,7 @@ use redlight::analysis::{ats, cookies, crossborder, fingerprint, sync, thirdpart
 use redlight::blocklist::FilterSet;
 use redlight::browser::Browser;
 use redlight::crawler::corpus::CorpusCompiler;
-use redlight::crawler::db::{CorpusLabel, CrawlRecord, SiteVisitRecord};
+use redlight::crawler::db::{CorpusLabel, CrawlRecord};
 use redlight::net::geoip::Country;
 use redlight::net::url::Url;
 use redlight::websim::server::BrowserKind;
@@ -22,20 +22,14 @@ fn crawl(world: &World, domains: &[String], blocker: bool) -> CrawlRecord {
         filters.add_list(&world.easyprivacy);
         browser.set_blocker(filters);
     }
-    CrawlRecord {
-        country: Country::Spain,
-        corpus: CorpusLabel::Porn,
-        client_ip,
-        visits: domains
-            .iter()
-            .map(|d| {
-                SiteVisitRecord::new(
-                    d.clone(),
-                    browser.visit(&Url::parse(&format!("https://{d}/")).unwrap()),
-                )
-            })
-            .collect(),
+    let mut record = CrawlRecord::new(Country::Spain, CorpusLabel::Porn, client_ip);
+    for d in domains {
+        record.push_visit(
+            d,
+            browser.visit(&Url::parse(&format!("https://{d}/")).unwrap()),
+        );
     }
+    record
 }
 
 #[test]
@@ -157,7 +151,7 @@ fn rta_labels_match_ground_truth() {
                 && s.rta_label
                 && record
                     .successful()
-                    .any(|v| v.domain == s.domain && !v.visit.dom_html.is_empty())
+                    .any(|v| record.name(v.domain) == s.domain && !v.visit.dom_html.is_empty())
         })
         .count();
     assert_eq!(report.with_rta_label, truth, "RTA detection must be exact");

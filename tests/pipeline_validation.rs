@@ -77,7 +77,7 @@ fn canvas_detector_has_high_precision_and_recall() {
     let crawled: BTreeSet<&str> = f
         .porn_crawl
         .successful()
-        .map(|v| v.domain.as_str())
+        .map(|v| f.porn_crawl.name(v.domain))
         .collect();
     for site in f
         .world
@@ -140,7 +140,7 @@ fn banner_detection_precision_and_recall() {
     let crawled: BTreeSet<&str> = f
         .porn_crawl
         .successful()
-        .map(|v| v.domain.as_str())
+        .map(|v| f.porn_crawl.name(v.domain))
         .collect();
     let truth: BTreeSet<&str> = f
         .world
@@ -247,7 +247,7 @@ fn sync_detection_only_reports_real_flows() {
         .porn_crawl
         .visits
         .iter()
-        .map(|v| v.domain.clone())
+        .map(|v| f.porn_crawl.name(v.domain).to_string())
         .collect();
     let report = sync::detect(&f.porn_crawl, &corpus, 100);
     // Every origin must be a domain that actually set a cookie somewhere.
