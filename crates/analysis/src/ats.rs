@@ -5,7 +5,7 @@
 //! against the full request URL; counting ATS *organizations* relaxes the
 //! match to the base FQDN.
 
-use std::collections::hash_map::DefaultHasher;
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, RwLock};
@@ -18,10 +18,25 @@ use redlight_net::psl::{CacheStats, HostCache};
 use serde::{Deserialize, Serialize};
 
 use crate::thirdparty::ThirdPartyExtract;
-use redlight_crawler::db::CrawlRecord;
+use redlight_crawler::db::{CrawlRecord, SiteVisitRecord};
+use redlight_crawler::store::{CrawlSlice, StrTable, Sym};
 
 /// Owned key of one memoized full-URL verdict.
 type UrlKey = (Box<str>, Box<str>, Box<str>, ResourceKind);
+
+/// Number of lock stripes per verdict cache. The sharded stage queue runs
+/// at most 8 workers; 16 stripes keep the probability of two workers
+/// contending on one lock low without bloating the struct.
+const CACHE_STRIPES: usize = 16;
+
+/// Interned key of one batch-classified request occurrence:
+/// `(request URL, page host, request host, resource kind)`, the first three
+/// as syms of the owning crawl's table.
+pub type BatchKey = (Sym, Sym, Sym, ResourceKind);
+
+/// One lock stripe of the URL verdict memo: hash → bucket of
+/// `(exact key, verdict)` entries.
+type UrlVerdictStripe = RwLock<HashMap<u64, Vec<(UrlKey, bool)>>>;
 
 /// The classifier, loaded with both lists.
 ///
@@ -30,16 +45,31 @@ type UrlKey = (Box<str>, Box<str>, Box<str>, ResourceKind);
 /// the ATS, geo and fingerprinting stages over the same crawls), so each
 /// verdict is computed once per classifier. Verdict caches are keyed by
 /// hash with exact key comparison inside the bucket — a cache hit costs no
-/// allocation, and a 64-bit collision cannot flip a verdict.
+/// allocation, and a 64-bit collision cannot flip a verdict. Both caches
+/// are lock-striped ([`CACHE_STRIPES`] ways by key hash) so concurrent
+/// shard workers don't serialize on a single `RwLock`.
 pub struct AtsClassifier {
     filters: FilterSet,
     hosts: Arc<HostCache>,
-    url_cache: RwLock<HashMap<u64, Vec<(UrlKey, bool)>>>,
-    fqdn_cache: RwLock<HashMap<String, bool>>,
+    url_cache: Vec<UrlVerdictStripe>,
+    fqdn_cache: Vec<RwLock<HashMap<String, bool>>>,
     url_hits: Counter,
     url_misses: Counter,
     fqdn_hits: Counter,
     fqdn_misses: Counter,
+    batch_hits: Counter,
+    batch_misses: Counter,
+}
+
+/// The stripe index a key hash selects.
+fn stripe_of(hash: u64) -> usize {
+    (hash % CACHE_STRIPES as u64) as usize
+}
+
+fn hash_of(key: &impl Hash) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
 }
 
 impl AtsClassifier {
@@ -50,40 +80,57 @@ impl AtsClassifier {
     }
 
     /// Parses the lists, sharing `hosts` (the pipeline-wide eTLD+1 memo)
-    /// for third-party derivation.
+    /// for third-party derivation. The matcher's Aho-Corasick prefilter
+    /// tier is compiled here, once per classifier.
     pub fn with_hosts(easylist: &str, easyprivacy: &str, hosts: Arc<HostCache>) -> Self {
         let mut filters = FilterSet::new();
         filters.add_list(easylist);
         filters.add_list(easyprivacy);
+        filters.build_prefilter();
         AtsClassifier {
             filters,
             hosts,
-            url_cache: RwLock::new(HashMap::new()),
-            fqdn_cache: RwLock::new(HashMap::new()),
+            url_cache: (0..CACHE_STRIPES)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            fqdn_cache: (0..CACHE_STRIPES)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             url_hits: Counter::new(),
             url_misses: Counter::new(),
             fqdn_hits: Counter::new(),
             fqdn_misses: Counter::new(),
+            batch_hits: Counter::new(),
+            batch_misses: Counter::new(),
         }
     }
 
     /// [`AtsClassifier::with_hosts`] with verdict-memo counters published
     /// as the registry's `cache.ats-url-verdicts.*` /
     /// `cache.ats-fqdn-verdicts.*` metrics ([`AtsClassifier::cache_stats`]
-    /// reads the same cells).
+    /// reads the same cells), the matcher's prefilter counters as
+    /// `cache.ats-prefilter.*`, and the batch dedup counters as
+    /// `cache.ats-batch-dedup.*`.
     pub fn with_hosts_in(
         easylist: &str,
         easyprivacy: &str,
         hosts: Arc<HostCache>,
         registry: &Registry,
     ) -> Self {
-        AtsClassifier {
+        let mut this = AtsClassifier {
             url_hits: registry.counter("cache.ats-url-verdicts.hits"),
             url_misses: registry.counter("cache.ats-url-verdicts.misses"),
             fqdn_hits: registry.counter("cache.ats-fqdn-verdicts.hits"),
             fqdn_misses: registry.counter("cache.ats-fqdn-verdicts.misses"),
+            batch_hits: registry.counter("cache.ats-batch-dedup.hits"),
+            batch_misses: registry.counter("cache.ats-batch-dedup.misses"),
             ..Self::with_hosts(easylist, easyprivacy, hosts)
-        }
+        };
+        this.filters.set_prefilter_counters(
+            registry.counter("cache.ats-prefilter.hits"),
+            registry.counter("cache.ats-prefilter.misses"),
+        );
+        this
     }
 
     /// The shared host → eTLD+1 memo this classifier resolves with.
@@ -100,15 +147,9 @@ impl AtsClassifier {
         request_host: &str,
         kind: ResourceKind,
     ) -> bool {
-        let mut hasher = DefaultHasher::new();
-        (url, page_host, request_host, kind).hash(&mut hasher);
-        let key_hash = hasher.finish();
-        if let Some(bucket) = self
-            .url_cache
-            .read()
-            .expect("url cache lock")
-            .get(&key_hash)
-        {
+        let key_hash = hash_of(&(url, page_host, request_host, kind));
+        let stripe = &self.url_cache[stripe_of(key_hash)];
+        if let Some(bucket) = stripe.read().expect("url cache lock").get(&key_hash) {
             for ((k_url, k_page, k_req, k_kind), verdict) in bucket {
                 if k_kind == &kind
                     && k_url.as_ref() == url
@@ -123,7 +164,7 @@ impl AtsClassifier {
         self.url_misses.inc();
         let ctx = RequestContext::with_hosts(page_host, request_host, kind, &self.hosts);
         let verdict = self.filters.matches(url, &ctx).is_blocked();
-        self.url_cache
+        stripe
             .write()
             .expect("url cache lock")
             .entry(key_hash)
@@ -138,17 +179,93 @@ impl AtsClassifier {
     /// Relaxed FQDN matching: the domain belongs to a known ATS
     /// organization. Memoized per FQDN.
     pub fn is_ats_fqdn(&self, fqdn: &str) -> bool {
-        if let Some(&verdict) = self.fqdn_cache.read().expect("fqdn cache lock").get(fqdn) {
+        let stripe = &self.fqdn_cache[stripe_of(hash_of(&fqdn))];
+        if let Some(&verdict) = stripe.read().expect("fqdn cache lock").get(fqdn) {
             self.fqdn_hits.inc();
             return verdict;
         }
         self.fqdn_misses.inc();
         let verdict = self.filters.matches_fqdn_relaxed(fqdn);
-        self.fqdn_cache
+        stripe
             .write()
             .expect("fqdn cache lock")
             .insert(fqdn.to_string(), verdict);
         verdict
+    }
+
+    /// Classifies every answered request of a slice's successful visits in
+    /// one pass, deduplicated per distinct interned
+    /// `(url, page, host, kind)` key and grouped by request FQDN so
+    /// consecutive classifications share matcher and cache state.
+    ///
+    /// The returned columns are keyed by [`Sym`]s of the slice's table:
+    /// resolving a verdict through [`AtsVerdicts`] is a hash of three
+    /// `u32`s instead of re-rendering and re-hashing the URL strings.
+    /// Verdicts are computed through [`AtsClassifier::is_ats_url`] /
+    /// [`AtsClassifier::is_ats_fqdn`], so the shared memo (and its
+    /// counters) observes exactly one miss per distinct key — the
+    /// per-request path and the batch path stay byte-identical.
+    pub fn classify_batch(&self, slice: CrawlSlice<'_>) -> BatchVerdicts {
+        let mut url: HashMap<BatchKey, bool> = HashMap::new();
+        let mut order: Vec<BatchKey> = Vec::new();
+        let mut total_requests = 0usize;
+        for record in slice.successful() {
+            let Some(page) = record.final_host else {
+                continue;
+            };
+            for (i, req) in record.visit.requests.iter().enumerate() {
+                if req.status.is_none() {
+                    continue;
+                }
+                total_requests += 1;
+                let key = (
+                    record.request_urls[i],
+                    page,
+                    record.request_hosts[i],
+                    req.kind,
+                );
+                match url.entry(key) {
+                    Entry::Occupied(_) => self.batch_hits.inc(),
+                    Entry::Vacant(slot) => {
+                        self.batch_misses.inc();
+                        slot.insert(false);
+                        order.push(key);
+                    }
+                }
+            }
+        }
+        // Group by request FQDN (then URL) so verdict-cache and matcher
+        // state stays hot across consecutive keys of the same host.
+        order.sort_unstable_by(|a, b| {
+            slice
+                .name(a.2)
+                .cmp(slice.name(b.2))
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+                .then((a.3 as u8).cmp(&(b.3 as u8)))
+        });
+        let mut host_syms: Vec<Sym> = Vec::new();
+        for key in order {
+            let verdict = self.is_ats_url(
+                slice.name(key.0),
+                slice.name(key.1),
+                slice.name(key.2),
+                key.3,
+            );
+            url.insert(key, verdict);
+            host_syms.push(key.2);
+        }
+        host_syms.sort_unstable();
+        host_syms.dedup();
+        let fqdn = host_syms
+            .into_iter()
+            .map(|h| (h, self.is_ats_fqdn(slice.name(h))))
+            .collect();
+        BatchVerdicts {
+            url,
+            fqdn,
+            total_requests,
+        }
     }
 
     /// Hit/miss counters of the (URL verdict, FQDN verdict) memos.
@@ -165,9 +282,153 @@ impl AtsClassifier {
         )
     }
 
+    /// Scan-rule (skipped, evaluated) totals of the matcher's Aho-Corasick
+    /// prefilter tier.
+    pub fn prefilter_stats(&self) -> CacheStats {
+        let (skipped, evaluated) = self.filters.prefilter_stats();
+        CacheStats {
+            hits: skipped,
+            misses: evaluated,
+        }
+    }
+
+    /// Batch-dedup counters: hits are request occurrences answered by an
+    /// earlier occurrence's key within [`AtsClassifier::classify_batch`],
+    /// misses are distinct keys that had to be classified.
+    pub fn batch_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.batch_hits.get(),
+            misses: self.batch_misses.get(),
+        }
+    }
+
     /// Number of loaded rules.
     pub fn rule_count(&self) -> usize {
         self.filters.len()
+    }
+}
+
+/// Sym-keyed verdict columns for one crawl, produced by
+/// [`AtsClassifier::classify_batch`]. Stages consume them through
+/// [`AtsVerdicts`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchVerdicts {
+    /// Verdict per distinct `(url, page, host, kind)` key.
+    url: HashMap<BatchKey, bool>,
+    /// Relaxed-FQDN verdict per distinct request-host sym.
+    fqdn: HashMap<Sym, bool>,
+    /// Request occurrences covered (answered requests of successful visits
+    /// with a final URL).
+    pub total_requests: usize,
+}
+
+impl BatchVerdicts {
+    /// Number of distinct classification keys.
+    pub fn distinct_urls(&self) -> usize {
+        self.url.len()
+    }
+
+    /// The batch verdict for `key`, when covered.
+    pub fn url_verdict(&self, key: BatchKey) -> Option<bool> {
+        self.url.get(&key).copied()
+    }
+
+    /// The relaxed-FQDN verdict for an interned request host.
+    pub fn fqdn_verdict(&self, host: Sym) -> Option<bool> {
+        self.fqdn.get(&host).copied()
+    }
+}
+
+/// A stage's view of ATS classification: the shared classifier, plus —
+/// when batching is on — the crawl's Sym-keyed [`BatchVerdicts`] column.
+/// Sym-keyed lookups answer from the column without rendering a single
+/// string; anything uncovered (canvas script URLs, extract FQDNs, batch
+/// off) falls back to the memoized classifier, so verdicts are identical
+/// either way.
+#[derive(Clone, Copy)]
+pub struct AtsVerdicts<'a> {
+    classifier: &'a AtsClassifier,
+    batch: Option<&'a BatchVerdicts>,
+}
+
+impl<'a> AtsVerdicts<'a> {
+    /// A view with no batch column: every lookup delegates.
+    pub fn new(classifier: &'a AtsClassifier) -> Self {
+        AtsVerdicts {
+            classifier,
+            batch: None,
+        }
+    }
+
+    /// A view backed by one crawl's batch verdict column.
+    pub fn with_batch(classifier: &'a AtsClassifier, batch: &'a BatchVerdicts) -> Self {
+        AtsVerdicts {
+            classifier,
+            batch: Some(batch),
+        }
+    }
+
+    /// The underlying classifier.
+    pub fn classifier(&self) -> &'a AtsClassifier {
+        self.classifier
+    }
+
+    /// The shared host → eTLD+1 memo.
+    pub fn hosts(&self) -> &'a Arc<HostCache> {
+        self.classifier.hosts()
+    }
+
+    /// Relaxed FQDN matching by string (extract sets, service hosts).
+    pub fn is_ats_fqdn(&self, fqdn: &str) -> bool {
+        self.classifier.is_ats_fqdn(fqdn)
+    }
+
+    /// Full-URL matching by strings, for URLs that are not request-column
+    /// entries (e.g. canvas script URLs).
+    pub fn is_ats_url(
+        &self,
+        url: &str,
+        page_host: &str,
+        request_host: &str,
+        kind: ResourceKind,
+    ) -> bool {
+        self.classifier
+            .is_ats_url(url, page_host, request_host, kind)
+    }
+
+    /// The verdict for request `i` of `record` (whose page host is
+    /// `page`): answered from the batch column when present, else
+    /// resolved through `names` and classified.
+    pub fn request_verdict(
+        &self,
+        names: &StrTable,
+        record: &SiteVisitRecord,
+        page: Sym,
+        i: usize,
+    ) -> bool {
+        let key = (
+            record.request_urls[i],
+            page,
+            record.request_hosts[i],
+            record.visit.requests[i].kind,
+        );
+        if let Some(v) = self.batch.and_then(|b| b.url_verdict(key)) {
+            return v;
+        }
+        self.classifier.is_ats_url(
+            names.resolve(key.0),
+            names.resolve(key.1),
+            names.resolve(key.2),
+            key.3,
+        )
+    }
+
+    /// Relaxed FQDN matching by interned host sym.
+    pub fn fqdn_verdict(&self, names: &StrTable, host: Sym) -> bool {
+        if let Some(v) = self.batch.and_then(|b| b.fqdn_verdict(host)) {
+            return v;
+        }
+        self.classifier.is_ats_fqdn(names.resolve(host))
     }
 }
 
@@ -197,15 +458,12 @@ pub struct Table2 {
 }
 
 /// ATS FQDNs among a third-party set (relaxed matching).
-pub fn ats_fqdns<'a>(
-    extract: &'a ThirdPartyExtract,
-    classifier: &AtsClassifier,
-) -> BTreeSet<&'a str> {
+pub fn ats_fqdns<'a>(extract: &'a ThirdPartyExtract, ats: AtsVerdicts<'_>) -> BTreeSet<&'a str> {
     extract
         .third_party_fqdns
         .iter()
         .map(String::as_str)
-        .filter(|f| classifier.is_ats_fqdn(f))
+        .filter(|f| ats.is_ats_fqdn(f))
         .collect()
 }
 
@@ -215,10 +473,10 @@ pub fn table2(
     porn_extract: &ThirdPartyExtract,
     regular_crawl: &CrawlRecord,
     regular_extract: &ThirdPartyExtract,
-    classifier: &AtsClassifier,
+    ats: AtsVerdicts<'_>,
 ) -> Table2 {
-    let porn_ats: BTreeSet<&str> = ats_fqdns(porn_extract, classifier);
-    let regular_ats: BTreeSet<&str> = ats_fqdns(regular_extract, classifier);
+    let porn_ats: BTreeSet<&str> = ats_fqdns(porn_extract, ats);
+    let regular_ats: BTreeSet<&str> = ats_fqdns(regular_extract, ats);
     Table2 {
         porn_corpus_size: porn_crawl.success_count(),
         regular_corpus_size: regular_crawl.success_count(),
@@ -237,21 +495,20 @@ pub fn table2(
 }
 
 /// Actual tracking instances observed in a crawl: URLs that match the lists
-/// in full, grouped by request FQDN.
-pub fn tracking_instances(crawl: &CrawlRecord, classifier: &AtsClassifier) -> BTreeSet<String> {
+/// in full, grouped by request FQDN. Runs entirely over the interned
+/// columns — with a batch view, no URL string is rendered or hashed.
+pub fn tracking_instances(crawl: &CrawlRecord, ats: AtsVerdicts<'_>) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     for record in crawl.successful() {
-        let Some(final_url) = &record.visit.final_url else {
+        let Some(page) = record.final_host else {
             continue;
         };
-        let page_host = final_url.host().as_str();
-        for req in &record.visit.requests {
+        for (i, req) in record.visit.requests.iter().enumerate() {
             if req.status.is_none() {
                 continue;
             }
-            let host = req.url.host().as_str();
-            if classifier.is_ats_url(&req.url.without_fragment(), page_host, host, req.kind) {
-                out.insert(host.to_string());
+            if ats.request_verdict(crawl.names(), record, page, i) {
+                out.insert(crawl.name(record.request_hosts[i]).to_string());
             }
         }
     }
@@ -311,5 +568,81 @@ mod tests {
             ResourceKind::Image
         ));
         assert_eq!(cls.cache_stats().0.misses, 2);
+    }
+
+    #[test]
+    fn classify_batch_matches_per_request_and_dedups() {
+        use redlight_browser::instrument::{Initiator, RequestRecord};
+        use redlight_browser::PageVisit;
+        use redlight_crawler::db::{CorpusLabel, CrawlRecord};
+        use redlight_net::geoip::Country;
+        use redlight_net::http::{Method, StatusCode};
+        use redlight_net::url::Url;
+        use std::net::Ipv4Addr;
+
+        let req = |url: &str, ok: bool| RequestRecord {
+            url: Url::parse(url).unwrap(),
+            method: Method::Get,
+            kind: ResourceKind::Script,
+            referrer: None,
+            initiator: Initiator::Markup,
+            status: ok.then_some(StatusCode::OK),
+            content_type: None,
+            cert: None,
+            redirected_to: None,
+        };
+        let mut crawl = CrawlRecord::new(
+            Country::Spain,
+            CorpusLabel::Porn,
+            Ipv4Addr::new(203, 0, 113, 9),
+        );
+        let visit = PageVisit {
+            success: true,
+            final_url: Some(Url::parse("https://porn.site/").unwrap()),
+            requests: vec![
+                req("https://exoclick.com/tag.js", true),
+                req("https://exoclick.com/tag.js", true), // duplicate occurrence
+                req("https://clean.org/lib.js", true),
+                req("https://dead.example/x.js", false), // unanswered: skipped
+            ],
+            ..PageVisit::failed(Url::parse("https://porn.site/").unwrap(), false)
+        };
+        crawl.push_visit("porn.site", visit);
+
+        let cls = AtsClassifier::from_lists("||exoclick.com^\n", "");
+        let batch = cls.classify_batch(crawl.full());
+        assert_eq!(batch.total_requests, 3);
+        assert_eq!(batch.distinct_urls(), 2);
+        let stats = cls.batch_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+
+        // Per-occurrence verdicts through the view equal fresh per-request
+        // string classification.
+        let fresh = AtsClassifier::from_lists("||exoclick.com^\n", "");
+        let view = AtsVerdicts::with_batch(&cls, &batch);
+        let record = &crawl.visits[0];
+        let page = record.final_host.unwrap();
+        for (i, r) in record.visit.requests.iter().enumerate() {
+            if r.status.is_none() {
+                continue;
+            }
+            let expect = fresh.is_ats_url(
+                &r.url.without_fragment(),
+                "porn.site",
+                r.url.host().as_str(),
+                r.kind,
+            );
+            assert_eq!(
+                view.request_verdict(crawl.names(), record, page, i),
+                expect,
+                "request {i}"
+            );
+        }
+        // The column answered those lookups: no extra classifier misses
+        // beyond the batch's own 2 distinct keys.
+        assert_eq!(cls.cache_stats().0.misses, 2);
+        // Sym-keyed FQDN verdicts agree with the string path.
+        assert!(view.fqdn_verdict(crawl.names(), record.request_hosts[0]));
+        assert!(!view.fqdn_verdict(crawl.names(), record.request_hosts[2]));
     }
 }

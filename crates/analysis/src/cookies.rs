@@ -12,7 +12,7 @@ use std::net::Ipv4Addr;
 use redlight_net::codec;
 use serde::{Deserialize, Serialize};
 
-use crate::ats::AtsClassifier;
+use crate::ats::AtsVerdicts;
 use crate::util::{pct, reg};
 use redlight_crawler::db::CrawlRecord;
 use redlight_crawler::store::CrawlSlice;
@@ -251,7 +251,7 @@ pub fn stats(crawl: &CrawlRecord, rows: &[CookieRow], client_ip: Ipv4Addr) -> Co
 pub fn table4(
     crawl: &CrawlRecord,
     rows: &[CookieRow],
-    classifier: &AtsClassifier,
+    ats: AtsVerdicts<'_>,
     regular_third_party: &BTreeSet<String>,
     client_ip: Ipv4Addr,
     top_n: usize,
@@ -271,7 +271,7 @@ pub fn table4(
         .map(|(domain, (sites, cookies, with_ip))| Table4Row {
             site_pct: pct(sites.len(), crawled),
             cookies,
-            is_ats: classifier.is_ats_fqdn(domain),
+            is_ats: ats.is_ats_fqdn(domain),
             in_web_ecosystem: regular_third_party.iter().any(|f| reg(f) == domain),
             ip_pct: pct(with_ip, cookies.max(1)),
             domain: domain.to_string(),

@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use redlight_browser::canvas::CanvasActivity;
 use serde::{Deserialize, Serialize};
 
-use crate::ats::AtsClassifier;
+use crate::ats::AtsVerdicts;
 use crate::util::pct;
 use redlight_crawler::db::CrawlRecord;
 use redlight_crawler::store::CrawlSlice;
@@ -111,8 +111,8 @@ pub struct FingerprintScan {
 }
 
 /// Runs the detector over a crawl.
-pub fn detect(crawl: &CrawlRecord, classifier: &AtsClassifier) -> FingerprintReport {
-    finalize(scan(crawl.full(), classifier))
+pub fn detect(crawl: &CrawlRecord, ats: AtsVerdicts<'_>) -> FingerprintReport {
+    finalize(scan(crawl.full(), ats))
 }
 
 /// The reduce side: set unions plus a rejected-execution sum.
@@ -148,7 +148,7 @@ pub fn finalize(scan: FingerprintScan) -> FingerprintReport {
 }
 
 /// The map side: runs the detector over one shard.
-pub fn scan(slice: CrawlSlice<'_>, classifier: &AtsClassifier) -> FingerprintScan {
+pub fn scan(slice: CrawlSlice<'_>, ats: AtsVerdicts<'_>) -> FingerprintScan {
     let mut out = FingerprintScan::default();
     let FingerprintScan {
         canvas_scripts,
@@ -187,14 +187,14 @@ pub fn scan(slice: CrawlSlice<'_>, classifier: &AtsClassifier) -> FingerprintSca
             }
             if canvas_hit {
                 canvas_sites.insert(slice.name(record.domain).to_string());
-                let hosts = classifier.hosts();
+                let hosts = ats.hosts();
                 let third_party = !hosts.same_site(&id.host, page_host);
                 if third_party {
                     canvas_services.insert(hosts.registrable(&id.host).to_string());
                     third_party_scripts.insert(id.clone());
                 }
                 if let Some(u) = script_url {
-                    if classifier.is_ats_url(
+                    if ats.is_ats_url(
                         &u.without_fragment(),
                         page_host,
                         u.host().as_str(),
@@ -238,10 +238,10 @@ pub fn table5(
     rtc: &crate::webrtc::WebRtcReport,
     porn_extract: &crate::thirdparty::ThirdPartyExtract,
     regular_extract: &crate::thirdparty::ThirdPartyExtract,
-    classifier: &AtsClassifier,
+    ats: AtsVerdicts<'_>,
     top_n: usize,
 ) -> Vec<Table5Row> {
-    let hosts = classifier.hosts();
+    let hosts = ats.hosts();
     let mut domains: BTreeSet<String> = BTreeSet::new();
     for s in &fp.canvas_scripts {
         domains.insert(hosts.registrable(&s.host).to_string());
@@ -267,7 +267,7 @@ pub fn table5(
                 .count();
             Table5Row {
                 presence: porn_extract.sites_with_registrable(&domain),
-                is_ats: classifier.is_ats_fqdn(&domain),
+                is_ats: ats.is_ats_fqdn(&domain),
                 in_regular_web: regular_extract
                     .third_party_fqdns
                     .iter()

@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 use redlight_net::geoip::Country;
 use serde::{Deserialize, Serialize};
 
-use crate::ats::AtsClassifier;
+use crate::ats::AtsVerdicts;
 use crate::thirdparty::{self, ThirdPartyExtract};
 use crate::ThreatFeed;
 use redlight_crawler::db::CrawlRecord;
@@ -37,13 +37,9 @@ pub struct GeoSummary {
 }
 
 /// Summarizes one country's crawl.
-pub fn summarize(
-    crawl: &CrawlRecord,
-    classifier: &AtsClassifier,
-    threat: &dyn ThreatFeed,
-) -> GeoSummary {
+pub fn summarize(crawl: &CrawlRecord, ats: AtsVerdicts<'_>, threat: &dyn ThreatFeed) -> GeoSummary {
     let extract = thirdparty::extract(crawl, false);
-    summarize_extracted(crawl, &extract, classifier, threat)
+    summarize_extracted(crawl, &extract, ats, threat)
 }
 
 /// [`summarize`] over an extraction computed elsewhere (the stage pipeline
@@ -52,7 +48,7 @@ pub fn summarize(
 pub fn summarize_extracted(
     crawl: &CrawlRecord,
     extract: &ThirdPartyExtract,
-    classifier: &AtsClassifier,
+    ats: AtsVerdicts<'_>,
     threat: &dyn ThreatFeed,
 ) -> GeoSummary {
     let mut fqdns: BTreeSet<String> = BTreeSet::new();
@@ -62,7 +58,7 @@ pub fn summarize_extracted(
     }
     let ats: BTreeSet<String> = fqdns
         .iter()
-        .filter(|f| classifier.is_ats_fqdn(f))
+        .filter(|f| ats.is_ats_fqdn(f))
         .cloned()
         .collect();
     let malicious: BTreeSet<String> = fqdns

@@ -9,7 +9,7 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
-use crate::ats::AtsClassifier;
+use crate::ats::AtsVerdicts;
 use crate::fingerprint::ScriptId;
 use redlight_crawler::db::CrawlRecord;
 use redlight_crawler::store::CrawlSlice;
@@ -40,8 +40,8 @@ pub struct WebRtcScan {
 }
 
 /// Scans a crawl for WebRTC API usage.
-pub fn detect(crawl: &CrawlRecord, classifier: &AtsClassifier) -> WebRtcReport {
-    finalize(scan(crawl.full(), classifier), classifier)
+pub fn detect(crawl: &CrawlRecord, ats: AtsVerdicts<'_>) -> WebRtcReport {
+    finalize(scan(crawl.full(), ats), ats)
 }
 
 /// The reduce side: set unions plus the co-occurrence sum.
@@ -58,11 +58,11 @@ pub fn merge(parts: impl IntoIterator<Item = WebRtcScan>) -> WebRtcScan {
 
 /// Classifies the (merged) services against the blocklists and assembles
 /// the report.
-pub fn finalize(scan: WebRtcScan, classifier: &AtsClassifier) -> WebRtcReport {
+pub fn finalize(scan: WebRtcScan, ats: AtsVerdicts<'_>) -> WebRtcReport {
     let ats_services: BTreeSet<String> = scan
         .services
         .iter()
-        .filter(|d| classifier.is_ats_fqdn(d))
+        .filter(|d| ats.is_ats_fqdn(d))
         .cloned()
         .collect();
     WebRtcReport {
@@ -75,7 +75,7 @@ pub fn finalize(scan: WebRtcScan, classifier: &AtsClassifier) -> WebRtcReport {
 }
 
 /// The map side: scans one shard.
-pub fn scan(slice: CrawlSlice<'_>, classifier: &AtsClassifier) -> WebRtcScan {
+pub fn scan(slice: CrawlSlice<'_>, ats: AtsVerdicts<'_>) -> WebRtcScan {
     let mut scripts: BTreeSet<ScriptId> = BTreeSet::new();
     let mut sites: BTreeSet<String> = BTreeSet::new();
     let mut services: BTreeSet<String> = BTreeSet::new();
@@ -102,7 +102,7 @@ pub fn scan(slice: CrawlSlice<'_>, classifier: &AtsClassifier) -> WebRtcScan {
                     path: "<inline>".to_string(),
                 },
             };
-            let hosts = classifier.hosts();
+            let hosts = ats.hosts();
             if !hosts.same_site(&id.host, page_host) {
                 services.insert(hosts.registrable(&id.host).to_string());
             }

@@ -75,12 +75,12 @@ fn geo_summaries_reflect_country_gating() {
 
     let ru = geo::summarize(
         &crawl(&world, &corpus.sanitized, Country::Russia),
-        &classifier,
+        ats::AtsVerdicts::new(&classifier),
         &feed,
     );
     let es = geo::summarize(
         &crawl(&world, &corpus.sanitized, Country::Spain),
-        &classifier,
+        ats::AtsVerdicts::new(&classifier),
         &feed,
     );
 

@@ -10,6 +10,7 @@
 //! cargo run --release -p redlight-bench --bin reproduce -- --trace out.json --metrics out.prom
 //! cargo run --release -p redlight-bench --bin reproduce -- --shards 4 --timings
 //! cargo run --release -p redlight-bench --bin reproduce -- --sites-scale 4
+//! cargo run --release -p redlight-bench --bin reproduce -- --no-batch-classify
 //! ```
 //!
 //! Prints the rendered tables/figures followed by the paper-vs-measured
@@ -30,6 +31,10 @@
 //! statistics. `--sites-scale <n>` grows every world population `n`× while
 //! keeping the paper's proportions — the paper-vs-measured comparison
 //! rescales accordingly. Both reject `0`.
+//!
+//! `--batch-classify` / `--no-batch-classify` toggle the batched ATS
+//! classification pass (on by default): verdicts are byte-identical either
+//! way, the toggle only exists to time the per-request baseline.
 //!
 //! Observability exports (any of these turns journaling on; same seed ⇒
 //! byte-identical files):
@@ -98,6 +103,16 @@ fn main() {
     };
     let shards = count_arg("--shards");
     let sites_scale = count_arg("--sites-scale");
+    // Last occurrence wins so scripts can append an override.
+    let batch_classify = args
+        .iter()
+        .rev()
+        .find_map(|a| match a.as_str() {
+            "--batch-classify" => Some(true),
+            "--no-batch-classify" => Some(false),
+            _ => None,
+        })
+        .unwrap_or(true);
 
     let mut config = if paper_scale {
         StudyConfig::paper_scale(seed)
@@ -119,6 +134,7 @@ fn main() {
     if let Some(fault_seed) = fault_seed {
         config.net = config.net.with_fault_seed(fault_seed);
     }
+    config.batch_classify = batch_classify;
     config.world = config.world.scaled(sites_scale);
     // Counts grow with the corpus, so the paper comparison divides the
     // base world-size factor by the multiplicative growth.

@@ -1,0 +1,215 @@
+//! Aho-Corasick multi-pattern prefilter — the matcher's third tier.
+//!
+//! Tiers 1 and 2 ([`crate::matcher`]) leave a residue of rules that are
+//! evaluated on *every* lookup: generic rules without a safe token
+//! (`*ads*`) and exceptions anchored on a public suffix. Each such rule
+//! still usually contains some alphanumeric run — and any alphanumeric run
+//! of a pattern, safe or not, must appear as a contiguous case-insensitive
+//! substring of every URL the pattern matches (literal pattern bytes
+//! consume exactly one URL byte each; `*` and `^` can never interrupt a
+//! literal run, see [`crate::tokens::pattern_substring`]).
+//!
+//! So: collect each always-scan rule's longest run as a *required token*,
+//! compile the distinct tokens into one Aho-Corasick automaton over the
+//! 36-symbol lowercase-alphanumeric alphabet, scan the URL once per
+//! lookup, and skip every scan rule whose required token never occurred.
+//! Pruned rules cannot possibly match, so verdicts stay byte-identical to
+//! the linear reference — the equivalence property test pins this.
+
+/// Alphabet size: `a-z` then `0-9`. Non-alphanumeric URL bytes reset the
+/// automaton to the root (tokens are intra-run substrings, so nothing is
+/// lost by the reset — it only shortens failure chains).
+const ALPHA: usize = 36;
+
+/// Maps an ASCII byte to its dense alphabet symbol, `None` outside
+/// `[A-Za-z0-9]`.
+fn symbol(b: u8) -> Option<usize> {
+    match b.to_ascii_lowercase() {
+        b @ b'a'..=b'z' => Some((b - b'a') as usize),
+        b @ b'0'..=b'9' => Some((b - b'0') as usize + 26),
+        _ => None,
+    }
+}
+
+/// Which of an automaton's tokens occurred in the last scanned text.
+/// Reused across scans to avoid reallocating the bitset.
+#[derive(Debug, Clone, Default)]
+pub struct TokenHits {
+    words: Vec<u64>,
+}
+
+impl TokenHits {
+    fn reset(&mut self, tokens: usize) {
+        self.words.clear();
+        self.words.resize(tokens.div_ceil(64), 0);
+    }
+
+    fn set(&mut self, id: u32) {
+        self.words[id as usize / 64] |= 1 << (id % 64);
+    }
+
+    /// `true` when token `id` occurred in the scanned text.
+    pub fn contains(&self, id: u32) -> bool {
+        self.words
+            .get(id as usize / 64)
+            .is_some_and(|w| w >> (id % 64) & 1 == 1)
+    }
+}
+
+/// A dense-transition Aho-Corasick automaton over lowercase alphanumeric
+/// tokens. Built once per [`crate::FilterSet`]; scanning is a single pass
+/// over the URL with one table lookup per byte.
+#[derive(Debug, Clone, Default)]
+pub struct TokenPrefilter {
+    /// Goto-with-failure DFA: `trans[state][symbol]` is the next state.
+    trans: Vec<[u32; ALPHA]>,
+    /// Token ids whose string ends at this state, including those reached
+    /// via suffix (failure) links — propagated at build time.
+    outputs: Vec<Vec<u32>>,
+    /// Number of distinct tokens compiled in.
+    tokens: usize,
+}
+
+impl TokenPrefilter {
+    /// Compiles `tokens` (already lowercased, purely alphanumeric, distinct)
+    /// into an automaton. Token `i`'s id is `i as u32`.
+    pub fn build(tokens: &[String]) -> Self {
+        const NONE: u32 = u32::MAX;
+        // Phase 1: trie with NONE sentinels for absent edges.
+        let mut trans: Vec<[u32; ALPHA]> = vec![[NONE; ALPHA]];
+        let mut outputs: Vec<Vec<u32>> = vec![Vec::new()];
+        for (id, token) in tokens.iter().enumerate() {
+            let mut state = 0usize;
+            for &b in token.as_bytes() {
+                let c = symbol(b).expect("prefilter tokens are alphanumeric");
+                if trans[state][c] == NONE {
+                    trans[state][c] = trans.len() as u32;
+                    trans.push([NONE; ALPHA]);
+                    outputs.push(Vec::new());
+                }
+                state = trans[state][c] as usize;
+            }
+            outputs[state].push(id as u32);
+        }
+        // Phase 2: BFS failure links, folded directly into the transition
+        // table (goto-with-failure → plain DFA) with suffix outputs
+        // propagated into each state's output list.
+        let mut fail = vec![0u32; trans.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for slot in trans[0].iter_mut() {
+            match *slot {
+                NONE => *slot = 0,
+                s => {
+                    fail[s as usize] = 0;
+                    queue.push_back(s);
+                }
+            }
+        }
+        while let Some(state) = queue.pop_front() {
+            let f = fail[state as usize] as usize;
+            let suffix_out = outputs[f].clone();
+            outputs[state as usize].extend(suffix_out);
+            // The failure state is always shallower than `state`, so its row
+            // is final — copy it out and patch this row against it.
+            let fallback = trans[f];
+            for (slot, &fb) in trans[state as usize].iter_mut().zip(fallback.iter()) {
+                match *slot {
+                    NONE => *slot = fb,
+                    next => {
+                        fail[next as usize] = fb;
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        TokenPrefilter {
+            trans,
+            outputs,
+            tokens: tokens.len(),
+        }
+    }
+
+    /// Number of distinct tokens compiled into the automaton.
+    pub fn token_count(&self) -> usize {
+        self.tokens
+    }
+
+    /// Scans `text` once and records every token that occurs (as a
+    /// case-insensitive substring of an alphanumeric run) into `hits`.
+    pub fn scan(&self, text: &str, hits: &mut TokenHits) {
+        hits.reset(self.tokens);
+        if self.tokens == 0 {
+            return;
+        }
+        let mut state = 0u32;
+        for &b in text.as_bytes() {
+            match symbol(b) {
+                None => state = 0,
+                Some(c) => {
+                    state = self.trans[state as usize][c];
+                    let out = &self.outputs[state as usize];
+                    if !out.is_empty() {
+                        for &id in out {
+                            hits.set(id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits_of(pf: &TokenPrefilter, text: &str) -> Vec<u32> {
+        let mut h = TokenHits::default();
+        pf.scan(text, &mut h);
+        (0..pf.token_count() as u32)
+            .filter(|&id| h.contains(id))
+            .collect()
+    }
+
+    fn build(tokens: &[&str]) -> TokenPrefilter {
+        TokenPrefilter::build(&tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn finds_tokens_anywhere_in_runs() {
+        let pf = build(&["ads", "track", "pixel"]);
+        assert_eq!(hits_of(&pf, "https://x.com/loads/1"), vec![0]); // "ads" in "loads"
+        assert_eq!(hits_of(&pf, "https://subtracker.net/a"), vec![1]);
+        assert_eq!(hits_of(&pf, "https://clean.example/img"), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn scanning_is_case_insensitive() {
+        let pf = build(&["banner"]);
+        assert_eq!(hits_of(&pf, "https://x.com/BANNER300.js"), vec![0]);
+    }
+
+    #[test]
+    fn overlapping_and_nested_tokens_all_fire() {
+        // "ad" is a prefix of "adserver"; "server" is its suffix — suffix
+        // outputs must propagate through failure links.
+        let pf = build(&["adserver", "server", "ad"]);
+        assert_eq!(hits_of(&pf, "x/adserver/"), vec![0, 1, 2]);
+        assert_eq!(hits_of(&pf, "x/server/"), vec![1]);
+    }
+
+    #[test]
+    fn non_alnum_bytes_reset_the_run() {
+        // Tokens are substrings of single alphanumeric runs: "adserver"
+        // split by '.' must not match.
+        let pf = build(&["adserver"]);
+        assert_eq!(hits_of(&pf, "https://ad.server.com/"), Vec::<u32>::new());
+        assert_eq!(hits_of(&pf, "https://xadserverx.com/"), vec![0]);
+    }
+
+    #[test]
+    fn empty_automaton_scans_cleanly() {
+        let pf = TokenPrefilter::default();
+        assert_eq!(hits_of(&pf, "https://anything.com/"), Vec::<u32>::new());
+    }
+}

@@ -182,6 +182,9 @@ proptest! {
         let mut indexed = FilterSet::new();
         let mut linear = LinearFilterSet::new();
         prop_assert_eq!(indexed.add_list(&list), linear.add_list(&list));
+        // The Aho-Corasick tier must never change a verdict: pin the fully
+        // prefiltered engine against the linear oracle.
+        indexed.build_prefilter();
         for &qs in &query_seeds {
             let (url, page_host, request_host, kind) = query_from_seed(qs);
             let ctx = RequestContext::new(&page_host, &request_host, kind);

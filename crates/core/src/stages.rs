@@ -23,7 +23,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use redlight_analysis::agegate::AgeGateComparison;
-use redlight_analysis::ats::AtsClassifier;
+use redlight_analysis::ats::{AtsClassifier, AtsVerdicts, BatchVerdicts};
 use redlight_analysis::consent::BannerBreakdown;
 use redlight_analysis::cookies::{CookieRow, CookieStats, Table4Row};
 use redlight_analysis::fingerprint::{FingerprintReport, Table5Row};
@@ -228,6 +228,10 @@ pub struct AnalysisContext<'a> {
     pub top: Vec<String>,
     /// EasyList + EasyPrivacy classifier (memoized; shares [`Self::hosts`]).
     pub classifier: AtsClassifier,
+    /// Per-crawl Sym-keyed batch verdict columns, computed up front when
+    /// [`StudyConfig::batch_classify`] is on (empty otherwise). Stages view
+    /// them through [`Self::ats_for`].
+    pub ats_batches: BTreeMap<(Country, CorpusLabel), BatchVerdicts>,
     /// Pipeline-wide host → eTLD+1 memo, shared by the classifier, the
     /// extraction memo and every stage that resolves registrable domains.
     pub hosts: Arc<HostCache>,
@@ -323,6 +327,18 @@ impl<'a> AnalysisContext<'a> {
             Arc::clone(&hosts),
             registry,
         );
+        // Batch classification up front: every crawl's answered requests,
+        // deduplicated per distinct interned key and FQDN-grouped. The
+        // shared verdict memo ends up in the same state the per-request
+        // path would produce, so stages read identical verdicts either way.
+        let mut ats_batches: BTreeMap<(Country, CorpusLabel), BatchVerdicts> = BTreeMap::new();
+        if config.batch_classify {
+            for crawl in db.crawls() {
+                ats_batches
+                    .entry((crawl.country, crawl.corpus))
+                    .or_insert_with(|| classifier.classify_batch(crawl.full()));
+            }
+        }
         let extracts = ExtractMemo::in_registry(Arc::clone(&hosts), registry);
         let porn_extract = extracts.get_sharded(porn_es, true, shards);
         let regular_extract = extracts.get_sharded(regular_es, true, shards);
@@ -354,6 +370,7 @@ impl<'a> AnalysisContext<'a> {
             ranked,
             top,
             classifier,
+            ats_batches,
             hosts,
             extracts,
             cert_harvest,
@@ -368,12 +385,30 @@ impl<'a> AnalysisContext<'a> {
         }
     }
 
+    /// A classification view with no batch column (corpus-independent
+    /// consumers like Table 2's extract filtering).
+    pub fn ats(&self) -> AtsVerdicts<'_> {
+        AtsVerdicts::new(&self.classifier)
+    }
+
+    /// The classification view for one crawl: batch-backed when
+    /// [`StudyConfig::batch_classify`] precomputed that crawl's column,
+    /// plain delegation otherwise.
+    pub fn ats_for(&self, crawl: &CrawlRecord) -> AtsVerdicts<'_> {
+        match self.ats_batches.get(&(crawl.country, crawl.corpus)) {
+            Some(batch) => AtsVerdicts::with_batch(&self.classifier, batch),
+            None => AtsVerdicts::new(&self.classifier),
+        }
+    }
+
     /// Snapshot of every shared cache's hit/miss counters, in render order.
     /// Surfaced through [`StageReport`] and `reproduce --timings`, never
     /// through the deterministic summary.
     pub fn cache_counters(&self) -> Vec<CacheCounter> {
         let host_stats = self.hosts.stats();
         let (url, fqdn) = self.classifier.cache_stats();
+        let prefilter = self.classifier.prefilter_stats();
+        let batch = self.classifier.batch_stats();
         let extract_stats = self.extracts.stats();
         vec![
             CacheCounter {
@@ -390,6 +425,16 @@ impl<'a> AnalysisContext<'a> {
                 name: "ats-fqdn-verdicts",
                 hits: fqdn.hits,
                 misses: fqdn.misses,
+            },
+            CacheCounter {
+                name: "ats-prefilter",
+                hits: prefilter.hits,
+                misses: prefilter.misses,
+            },
+            CacheCounter {
+                name: "ats-batch-dedup",
+                hits: batch.hits,
+                misses: batch.misses,
             },
             CacheCounter {
                 name: "thirdparty-extracts",
@@ -970,7 +1015,7 @@ fn stage_third_parties(ctx: &AnalysisContext<'_>) -> (ats::Table2, usize, usize)
         &ctx.porn_extract,
         ctx.regular_es,
         &ctx.regular_extract,
-        &ctx.classifier,
+        ctx.ats(),
     );
     let input = ctx.porn_es.visits.len() + ctx.regular_es.visits.len();
     let produced = table2.porn_third_party + table2.regular_third_party;
@@ -1000,7 +1045,7 @@ fn stage_cookies(ctx: &AnalysisContext<'_>) -> ((CookieStats, Vec<Table4Row>), u
     let table4 = cookies::table4(
         ctx.porn_es,
         &ctx.cookie_rows,
-        &ctx.classifier,
+        ctx.ats(),
         &ctx.regular_extract.third_party_fqdns,
         ctx.client_ip,
         5,
@@ -1039,13 +1084,14 @@ fn stage_cookie_sync(ctx: &AnalysisContext<'_>, obs: &StageObs<'_>) -> (SyncRepo
 }
 
 fn stage_webrtc(ctx: &AnalysisContext<'_>, obs: &StageObs<'_>) -> (WebRtcReport, usize, usize) {
+    let ats = ctx.ats_for(ctx.porn_es);
     let report = if ctx.shards <= 1 {
-        webrtc::detect(ctx.porn_es, &ctx.classifier)
+        webrtc::detect(ctx.porn_es, ats)
     } else {
         let parts = scan_shards(obs, WEBRTC, ctx.porn_es, ctx.shards, |slice| {
-            webrtc::scan(slice, &ctx.classifier)
+            webrtc::scan(slice, ats)
         });
-        webrtc::finalize(webrtc::merge(parts), &ctx.classifier)
+        webrtc::finalize(webrtc::merge(parts), ats)
     };
     let produced = report.scripts.len();
     (report, ctx.porn_es.success_count(), produced)
@@ -1056,11 +1102,12 @@ fn stage_fingerprinting(
     rtc: &WebRtcReport,
     obs: &StageObs<'_>,
 ) -> ((FingerprintReport, Vec<Table5Row>), usize, usize) {
+    let ats = ctx.ats_for(ctx.porn_es);
     let fp = if ctx.shards <= 1 {
-        fingerprint::detect(ctx.porn_es, &ctx.classifier)
+        fingerprint::detect(ctx.porn_es, ats)
     } else {
         let parts = scan_shards(obs, FINGERPRINTING, ctx.porn_es, ctx.shards, |slice| {
-            fingerprint::scan(slice, &ctx.classifier)
+            fingerprint::scan(slice, ats)
         });
         fingerprint::finalize(fingerprint::merge(parts))
     };
@@ -1069,7 +1116,7 @@ fn stage_fingerprinting(
         rtc,
         &ctx.porn_extract,
         &ctx.regular_extract,
-        &ctx.classifier,
+        ctx.ats(),
         10,
     );
     let produced = fp.canvas_scripts.len() + table5.len();
@@ -1124,7 +1171,7 @@ fn stage_geo(
                 .expect("per-country porn crawl recorded");
             input += crawl.visits.len();
             let extract = ctx.extracts.get_sharded(crawl, false, ctx.shards);
-            geo::summarize_extracted(crawl, &extract, &ctx.classifier, &threat)
+            geo::summarize_extracted(crawl, &extract, ctx.ats_for(crawl), &threat)
         })
         .collect();
     let table7 = geo::table7(&summaries, &ctx.regular_extract.third_party_fqdns);

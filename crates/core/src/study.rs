@@ -48,6 +48,11 @@ pub struct StudyConfig {
     /// metered / fault-injecting) plus the visit retry policy. The default
     /// injects nothing, so results stay byte-identical to a direct run.
     pub net: NetProfile,
+    /// Classify each crawl's requests in one batched pass (grouped by host,
+    /// deduped per distinct interned URL) instead of per request. Verdicts
+    /// are byte-identical either way; batching only changes the walk order
+    /// and lets every duplicate request hit the precomputed column.
+    pub batch_classify: bool,
 }
 
 impl StudyConfig {
@@ -59,6 +64,7 @@ impl StudyConfig {
             agegate_top_n: 50,
             max_policy_pairs: 1_300_000,
             net: NetProfile::default(),
+            batch_classify: true,
         }
     }
 
@@ -70,6 +76,7 @@ impl StudyConfig {
             agegate_top_n: 12,
             max_policy_pairs: 40_000,
             net: NetProfile::default(),
+            batch_classify: true,
         }
     }
 
@@ -81,6 +88,7 @@ impl StudyConfig {
             agegate_top_n: 8,
             max_policy_pairs: 5_000,
             net: NetProfile::default(),
+            batch_classify: true,
         }
     }
 

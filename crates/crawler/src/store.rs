@@ -85,6 +85,16 @@ impl StrTable {
         sym
     }
 
+    /// The sym of `s`, when it has been interned — a read-only probe that
+    /// never grows the table.
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        self.buckets
+            .get(&Self::hash_of(s))?
+            .iter()
+            .copied()
+            .find(|&sym| self.resolve(sym) == s)
+    }
+
     /// The string behind `sym`. Panics on a sym from another table whose
     /// index is out of range.
     pub fn resolve(&self, sym: Sym) -> &str {
@@ -224,6 +234,15 @@ mod tests {
         assert_eq!(t.resolve(b), "pornsite.com");
         assert_eq!(t.len(), 2);
         assert_eq!(t.arena_bytes(), "exoclick.com".len() + "pornsite.com".len());
+    }
+
+    #[test]
+    fn lookup_probes_without_growing() {
+        let mut t = StrTable::new();
+        let a = t.intern("exoclick.com");
+        assert_eq!(t.lookup("exoclick.com"), Some(a));
+        assert_eq!(t.lookup("never-interned.com"), None);
+        assert_eq!(t.len(), 1, "lookup must not intern");
     }
 
     #[test]

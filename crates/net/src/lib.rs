@@ -36,4 +36,4 @@ pub use transport::{
     BrowserKind, ClientContext, FetchOutcome, NetProfile, RetryPolicy, Transport, TransportMeter,
     TransportStats,
 };
-pub use url::Url;
+pub use url::{Authority, Url};

@@ -16,6 +16,12 @@ use crate::catalog::Catalog;
 use crate::service::{ListCoverage, ServiceCategory};
 
 /// Builds the EasyList-style text (advertising rules).
+///
+/// The two `*…*` wildcard rules mirror real EasyList entries whose literal
+/// runs touch a wildcard: they have no *safe* token, so they land in the
+/// matcher's always-scan list and exercise its Aho-Corasick prefilter tier.
+/// Neither can match simulated traffic (no generated URL contains
+/// `interstitial` or `vast`), so every verdict is unchanged.
 pub fn easylist(catalog: &Catalog) -> String {
     let mut out = String::from(
         "[Adblock Plus 2.0]\n\
@@ -23,7 +29,9 @@ pub fn easylist(catalog: &Catalog) -> String {
          ! Calibrated coverage — see DESIGN.md\n\
          /adserver/*$script\n\
          /popunder.\n\
-         ||example-ads.invalid^\n",
+         ||example-ads.invalid^\n\
+         *interstitial*\n\
+         *analytics*vast*\n",
     );
     for svc in catalog.services.iter() {
         if svc.category == ServiceCategory::Analytics {

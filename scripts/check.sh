@@ -24,6 +24,9 @@ echo "==> shard map/reduce equivalence (per-shard merge == monolithic)"
 # named step re-confirms with a smaller draw so the gate stays fast.
 PROPTEST_CASES=32 cargo test -q --test shard_equivalence
 
+echo "==> batch classification equivalence (batched == per-request verdicts)"
+PROPTEST_CASES=64 cargo test -q --test batch_equivalence
+
 echo "==> ats_match bench smoke (--test mode, 1 iteration per bench)"
 cargo bench -p redlight-bench --bench ats_match -- --test
 
@@ -32,6 +35,27 @@ cargo bench -p redlight-bench --bench transport -- --test
 
 echo "==> scale bench smoke (--test mode, 1x sweep only)"
 cargo bench -p redlight-bench --bench scale -- --test
+
+echo "==> hotpath bench smoke (--test mode, 1x sweep, JSON keys validated)"
+cargo bench -p redlight-bench --bench hotpath -- --test
+python3 - <<'PYEOF'
+import json
+doc = json.load(open("BENCH_hotpath.json"))
+assert doc["bench"] == "hotpath", doc
+rows = doc["rows"]
+assert rows, "hotpath sweep produced no rows"
+keys = {
+    "scale", "requests", "visits", "per_request_rps", "batch_rps", "speedup",
+    "per_request_allocs_per_visit", "batch_allocs_per_visit",
+    "interned_bytes_per_visit", "prefilter_hit_rate",
+}
+for row in rows:
+    missing = keys - row.keys()
+    assert not missing, f"hotpath row lacks {sorted(missing)}"
+    assert row["requests"] > 0 and row["batch_rps"] > 0, row
+    assert 0.0 <= row["prefilter_hit_rate"] <= 1.0, row
+print(f"hotpath OK: {len(rows)} row(s), {rows[0]['requests']} requests at 1x")
+PYEOF
 
 echo "==> observability exporter smoke (collection-only, all three formats)"
 OBS_DIR="$(mktemp -d)"
