@@ -11,6 +11,7 @@
 //! cargo run --release -p redlight-bench --bin reproduce -- --shards 4 --timings
 //! cargo run --release -p redlight-bench --bin reproduce -- --sites-scale 4
 //! cargo run --release -p redlight-bench --bin reproduce -- --no-batch-classify
+//! cargo run --release -p redlight-bench --bin reproduce -- --traffic 1000000
 //! ```
 //!
 //! Prints the rendered tables/figures followed by the paper-vs-measured
@@ -44,12 +45,23 @@
 //! * `--metrics <path>` — Prometheus-style text exposition of every counter.
 //! * `--collect-only` — stop after the collection layer (no analysis);
 //!   useful for fast smoke runs of the exporters.
+//!
+//! `--traffic <sessions>` runs the discrete-event traffic workload instead
+//! of the study: `<sessions>` seeded visitor sessions walk the world's porn
+//! sites on a simulated clock (service times, per-host connection limits,
+//! FIFO queueing; faults and retries when the profile injects them),
+//! reporting logical throughput and latency percentiles from the `obs`
+//! histograms. The report is deterministic — same seed ⇒ byte-identical —
+//! with real wall time on stderr only. Honors `--seed`, `--net-profile`,
+//! `--fault-seed`, `--sites-scale`; `--timings` appends the per-tier
+//! "Traffic layer" table; the export flags write the traffic journal.
 
 use redlight_core::results::StageReport;
 use redlight_core::{stages, Study, StudyConfig, StudyResults};
-use redlight_net::transport::NetProfile;
+use redlight_net::transport::{NetProfile, SimSpec};
 use redlight_obs::ObsContext;
 use redlight_report::paper::{self, Comparison};
+use redlight_sim::{run_traffic, TrafficConfig};
 use redlight_websim::World;
 
 fn main() {
@@ -103,6 +115,17 @@ fn main() {
     };
     let shards = count_arg("--shards");
     let sites_scale = count_arg("--sites-scale");
+    // `--traffic <sessions>`: absent ⇒ study mode; `0` ⇒ usage error.
+    let traffic: Option<u64> = match args.iter().position(|a| a == "--traffic") {
+        None => None,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+            Some(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!("--traffic expects a positive session count");
+                std::process::exit(2);
+            }
+        },
+    };
     // Last occurrence wins so scripts can append an override.
     let batch_classify = args
         .iter()
@@ -147,6 +170,19 @@ fn main() {
     } else {
         ObsContext::disabled()
     };
+
+    if let Some(sessions) = traffic {
+        run_traffic_mode(
+            sessions,
+            seed,
+            &config,
+            timings,
+            &trace_out,
+            &events_out,
+            &metrics_out,
+        );
+        return;
+    }
 
     eprintln!(
         "running the {} study (seed {seed})…",
@@ -200,6 +236,48 @@ fn main() {
         print_timings(&results.stage_report, json);
     }
     export_obs(&obs, &trace_out, &events_out, &metrics_out);
+}
+
+/// `--traffic` mode: the discrete-event traffic workload instead of the
+/// study. Always runs over an enabled observability context — the report's
+/// percentiles come from the registry histograms — but everything printed
+/// to stdout is logical, so same seed ⇒ byte-identical output.
+#[allow(clippy::too_many_arguments)]
+fn run_traffic_mode(
+    sessions: u64,
+    seed: u64,
+    config: &StudyConfig,
+    timings: bool,
+    trace_out: &Option<String>,
+    events_out: &Option<String>,
+    metrics_out: &Option<String>,
+) {
+    let net = if config.net.sim.is_some() {
+        config.net.clone()
+    } else {
+        // The workload is meaningless without a service model; default one
+        // in while keeping the profile's faults/retries/seed.
+        config.net.clone().with_sim(SimSpec::default())
+    };
+    let traffic_config = TrafficConfig {
+        sessions,
+        seed,
+        world: config.world.clone(),
+        net,
+        ..TrafficConfig::new(sessions)
+    };
+    eprintln!("simulating {sessions} visitor sessions (seed {seed})…");
+    let obs = ObsContext::new();
+    let report = run_traffic(&traffic_config, &obs);
+    eprintln!(
+        "delivered {} kernel events in {:?} (wall)",
+        report.events, report.wall
+    );
+    print!("{}", report.render());
+    if timings {
+        println!("\n{}", report.render_table());
+    }
+    export_obs(&obs, trace_out, events_out, metrics_out);
 }
 
 /// Per-crawl shard statistics — only surfaced on sharded runs.

@@ -13,14 +13,21 @@
 //! [`RetryPolicy`](redlight_net::transport::RetryPolicy) budget, with the
 //! attempt count and per-site wall time recorded on every
 //! [`SiteVisitRecord`].
+//!
+//! When the profile carries a [`SimSpec`](redlight_net::transport::SimSpec)
+//! the stack is rehosted on a simulated clock ([`SimTransport`]): visit
+//! walls become logical time, and retry backoff is *consumed* on that
+//! clock — the crawl asserts the recorded schedule equals the elapsed
+//! logical time, closing the recorded-only gap of the legacy path.
 
 use std::time::Instant;
 
 use redlight_browser::Browser;
 use redlight_net::geoip::Country;
-use redlight_net::transport::{BrowserKind, NetProfile, TransportMeter, TransportStats};
+use redlight_net::transport::{BrowserKind, NetProfile, Transport, TransportMeter, TransportStats};
 use redlight_net::url::Url;
 use redlight_obs::{Registry, Trace, Tracer};
+use redlight_sim::{SimHandle, SimTransport};
 use redlight_websim::server::WebServer;
 use redlight_websim::World;
 
@@ -97,6 +104,14 @@ impl<'w> OpenWpmCrawler<'w> {
         let transport = self
             .net
             .stack_in(WebServer::new(self.world), &meter, registry);
+        // Under a sim profile the whole stack is rehosted on the logical
+        // clock: outcomes are unchanged, but every fetch, fault stall and
+        // retry backoff consumes simulated time.
+        let sim = self.net.sim.map(SimHandle::new);
+        let transport: Box<dyn Transport + '_> = match &sim {
+            Some(handle) => Box::new(SimTransport::new(transport, handle.clone())),
+            None => transport,
+        };
         let mut browser = Browser::with_transport(transport, ctx);
 
         let retries = registry.counter("transport.retries");
@@ -120,11 +135,27 @@ impl<'w> OpenWpmCrawler<'w> {
             let mut batch_failures = 0u64;
             for domain in batch {
                 let started = Instant::now();
+                let sim_mark = sim.as_ref().map(|h| (h.now(), h.backoff_consumed()));
+                let wall = |attempts_done: u32| match (&sim, sim_mark) {
+                    // Logical wall: fetches + backoff since the visit began.
+                    // The recorded backoff schedule must equal the logical
+                    // time the retries actually consumed — the sim clock
+                    // closes the old recorded-only gap, so enforce it.
+                    (Some(h), Some((t0, b0))) => {
+                        assert_eq!(
+                            h.backoff_consumed() - b0,
+                            self.net.retry.total_backoff(attempts_done),
+                            "recorded backoff must equal logical time consumed"
+                        );
+                        h.now() - t0
+                    }
+                    _ => started.elapsed(),
+                };
                 let Ok(url) = Url::parse(&format!("https://{domain}/")) else {
                     // A corpus entry that never parses still costs a visit
                     // slot: dropping it here would silently shrink the crawl
                     // and skew every per-corpus denominator downstream.
-                    record.push_visit_with(domain, unparsable_visit(), 0, started.elapsed());
+                    record.push_visit_with(domain, unparsable_visit(), 0, wall(0));
                     attempts_hist.record(0);
                     requests_hist.record(0);
                     failed_visits.inc();
@@ -135,6 +166,9 @@ impl<'w> OpenWpmCrawler<'w> {
                 let mut visit = browser.visit(&url);
                 while !visit.success && attempts < self.net.retry.max_attempts {
                     attempts += 1;
+                    if let Some(handle) = &sim {
+                        handle.consume_backoff(self.net.retry.backoff_before(attempts));
+                    }
                     visit = browser.visit(&url);
                 }
                 retries.add(attempts.saturating_sub(1) as u64);
@@ -148,7 +182,7 @@ impl<'w> OpenWpmCrawler<'w> {
                 if !self.config.store_dom {
                     visit.dom_html = String::new();
                 }
-                record.push_visit_with(domain, visit, attempts, started.elapsed());
+                record.push_visit_with(domain, visit, attempts, wall(attempts));
             }
             tracer.attr("sites", batch.len());
             tracer.attr("attempts", batch_attempts);

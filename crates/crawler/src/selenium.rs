@@ -15,9 +15,10 @@ use redlight_html::dom::Document;
 use redlight_html::{parser, query, style};
 use redlight_net::geoip::Country;
 use redlight_net::http::ResourceKind;
-use redlight_net::transport::{BrowserKind, NetProfile, TransportMeter, TransportStats};
+use redlight_net::transport::{BrowserKind, NetProfile, Transport, TransportMeter, TransportStats};
 use redlight_net::url::Url;
 use redlight_obs::{Registry, Trace, Tracer};
+use redlight_sim::{SimHandle, SimTransport};
 use redlight_text::lang;
 use redlight_websim::server::WebServer;
 use redlight_websim::World;
@@ -92,6 +93,13 @@ impl<'w> SeleniumCrawler<'w> {
         let transport = self
             .net
             .stack_in(WebServer::new(self.world), &meter, registry);
+        // Sim profiles rehost the stack on the logical clock (outcomes are
+        // unchanged; retries consume their backoff as simulated time).
+        let sim = self.net.sim.map(SimHandle::new);
+        let transport: Box<dyn Transport + '_> = match &sim {
+            Some(handle) => Box::new(SimTransport::new(transport, handle.clone())),
+            None => transport,
+        };
         let mut browser = Browser::with_transport(transport, ctx);
 
         let retry_counter = registry.counter("transport.retries");
@@ -112,7 +120,7 @@ impl<'w> SeleniumCrawler<'w> {
             let mut batch_attempts = 0u64;
             let mut batch_failures = 0u64;
             for d in batch {
-                let (record, attempts) = self.crawl_site(&mut browser, d);
+                let (record, attempts) = self.crawl_site(&mut browser, d, sim.as_ref());
                 attempts_total += attempts as u64;
                 retries += attempts.saturating_sub(1) as u64;
                 retry_counter.add(attempts.saturating_sub(1) as u64);
@@ -140,8 +148,15 @@ impl<'w> SeleniumCrawler<'w> {
     }
 
     /// Crawls one site, returning its record with the number of
-    /// landing-page attempts spent (0 when the domain never parsed).
-    fn crawl_site(&self, browser: &mut Browser<'w>, domain: &str) -> (InteractionRecord, u32) {
+    /// landing-page attempts spent (0 when the domain never parsed). Under
+    /// a sim profile, retry backoff is consumed on the logical clock and
+    /// checked against the recorded schedule.
+    fn crawl_site(
+        &self,
+        browser: &mut Browser<'w>,
+        domain: &str,
+        sim: Option<&SimHandle>,
+    ) -> (InteractionRecord, u32) {
         let mut record = InteractionRecord {
             domain: domain.to_string(),
             country: self.country,
@@ -159,11 +174,22 @@ impl<'w> SeleniumCrawler<'w> {
             // Malformed corpus entry: recorded as unreachable, never dropped.
             return (record, 0);
         };
+        let backoff_mark = sim.map(|h| h.backoff_consumed());
         let mut attempts = 1u32;
         let mut visit = browser.visit(&url);
         while !visit.success && attempts < self.net.retry.max_attempts {
             attempts += 1;
+            if let Some(handle) = sim {
+                handle.consume_backoff(self.net.retry.backoff_before(attempts));
+            }
             visit = browser.visit(&url);
+        }
+        if let Some((handle, before)) = sim.zip(backoff_mark) {
+            assert_eq!(
+                handle.backoff_consumed() - before,
+                self.net.retry.total_backoff(attempts),
+                "recorded backoff must equal logical time consumed"
+            );
         }
         if !visit.success {
             return (record, attempts);

@@ -21,7 +21,10 @@
 //!   of a study produce identical results;
 //! * meters and retry backoff are *recorded*, never slept on: the
 //!   simulated network has no latency to wait out, so the schedule is
-//!   bookkeeping for the report, not a delay.
+//!   bookkeeping for the report, not a delay. Profiles carrying a
+//!   [`SimSpec`] upgrade the schedule to *consumed* logical time on a
+//!   simulated clock (the `redlight-sim` kernel) — still never a real
+//!   sleep.
 //!
 //! [`WebServer`]: https://docs.rs/redlight-websim
 
@@ -342,7 +345,9 @@ impl FaultSpec {
     }
 
     /// Maps a 0..1000 draw onto a fault, `None` for the healthy majority.
-    fn classify(&self, draw: u16) -> Option<Fault> {
+    /// Public so simulated workloads (the traffic generator) can draw from
+    /// the same cumulative fault distribution a [`FaultTransport`] uses.
+    pub fn classify(&self, draw: u16) -> Option<Fault> {
         debug_assert!(self.total_pm() <= 1000, "fault rates exceed 100%");
         let mut edge = self.dns_pm;
         if draw < edge {
@@ -472,9 +477,12 @@ impl<T: Transport> Transport for FaultTransport<T> {
 
 /// Bounded visit retries with a deterministic backoff schedule.
 ///
-/// The backoff is *recorded*, not slept: the synthetic web answers
-/// instantly, so the schedule exists to be reported (and to stay stable
-/// across runs), not to pace a real wire.
+/// The backoff is never slept on a real wire. On legacy runs (profiles
+/// with `sim: None`) it is purely *recorded* — the synthetic web answers
+/// instantly, so the schedule exists to be reported and to stay stable
+/// across runs. Under a [`SimSpec`] profile the same schedule is *charged*
+/// to a logical clock between attempts, and the crawler asserts the time
+/// consumed equals [`RetryPolicy::total_backoff`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total visit attempts (1 = no retries).
@@ -522,6 +530,63 @@ impl RetryPolicy {
         }
         d
     }
+
+    /// Total backoff a visit that spent `attempts` attempts schedules: the
+    /// sum of [`backoff_before`](Self::backoff_before) over every attempt.
+    ///
+    /// Under a simulated clock ([`SimSpec`]) the crawler *consumes* exactly
+    /// this much logical time between retries and asserts the equality, so
+    /// the recorded schedule can never silently diverge from the time the
+    /// clock actually advanced. On legacy non-sim runs (`sim: None`) the
+    /// schedule stays recorded-only: there is no clock to consume it.
+    pub fn total_backoff(&self, attempts: u32) -> Duration {
+        (1..=attempts).map(|a| self.backoff_before(a)).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated time
+// ---------------------------------------------------------------------------
+
+/// Parameters of the simulated-time service model, as data.
+///
+/// When a [`NetProfile`] carries a `SimSpec`, the crawl wraps its transport
+/// stack in the `redlight-sim` crate's `SimTransport`: every fetch charges
+/// a modeled service time to a logical clock — a base cost plus a per-KiB
+/// transfer cost with deterministic ±jitter — unreachable hosts charge the
+/// connect-fail cost, stalls charge the full timeout budget, and retry
+/// backoff advances the same clock. The spec itself is plain data so `net`
+/// needs no dependency on the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimSpec {
+    /// Base per-request service time (connection + server think time).
+    pub base_service: Duration,
+    /// Added transfer time per KiB of response body.
+    pub per_kbyte: Duration,
+    /// Time burned learning that a host is unreachable.
+    pub connect_fail: Duration,
+    /// Logical time a stalled (timed-out) request holds the client.
+    pub timeout: Duration,
+    /// ± jitter on the service time, in per-mille of its value.
+    pub jitter_pm: u16,
+    /// Concurrent connections one host serves before requests queue FIFO.
+    pub conn_limit: u32,
+    /// Seed of the deterministic jitter draws.
+    pub seed: u64,
+}
+
+impl Default for SimSpec {
+    fn default() -> Self {
+        SimSpec {
+            base_service: Duration::from_millis(2),
+            per_kbyte: Duration::from_micros(20),
+            connect_fail: Duration::from_millis(1),
+            timeout: Duration::from_secs(10),
+            jitter_pm: 100,
+            conn_limit: 8,
+            seed: 0,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -541,6 +606,9 @@ pub struct NetProfile {
     pub metered: bool,
     /// Visit retry policy.
     pub retry: RetryPolicy,
+    /// Simulated-time service model; `None` runs the legacy call-and-return
+    /// pipeline where backoff stays recorded-only.
+    pub sim: Option<SimSpec>,
 }
 
 impl Default for NetProfile {
@@ -550,13 +618,14 @@ impl Default for NetProfile {
             fault_seed: 0,
             metered: true,
             retry: RetryPolicy::none(),
+            sim: None,
         }
     }
 }
 
 impl NetProfile {
     /// The profile names [`NetProfile::named`] accepts.
-    pub const NAMES: [&'static str; 4] = ["default", "direct", "flaky", "lossy"];
+    pub const NAMES: [&'static str; 5] = ["default", "direct", "flaky", "lossy", "sim"];
 
     /// Completely bare stack: no faults, no meter — the pre-seam pipeline.
     pub fn direct() -> Self {
@@ -566,7 +635,8 @@ impl NetProfile {
         }
     }
 
-    /// Looks up a named profile (`default`, `direct`, `flaky`, `lossy`).
+    /// Looks up a named profile (`default`, `direct`, `flaky`, `lossy`,
+    /// `sim`).
     pub fn named(name: &str) -> Option<Self> {
         match name {
             "default" => Some(NetProfile::default()),
@@ -574,15 +644,19 @@ impl NetProfile {
             "flaky" => Some(NetProfile {
                 faults: Some(FaultSpec::flaky()),
                 fault_seed: 1,
-                metered: true,
                 retry: RetryPolicy::retries(3, Duration::from_millis(250), 4),
+                ..NetProfile::default()
             }),
             "lossy" => Some(NetProfile {
                 faults: Some(FaultSpec::lossy()),
                 fault_seed: 1,
-                metered: true,
                 retry: RetryPolicy::retries(4, Duration::from_millis(250), 4),
+                ..NetProfile::default()
             }),
+            // The default healthy network under a simulated clock: outcomes
+            // are byte-identical to `default`, but every fetch and every
+            // backoff advances logical time.
+            "sim" => Some(NetProfile::default().with_sim(SimSpec::default())),
             _ => None,
         }
     }
@@ -590,6 +664,13 @@ impl NetProfile {
     /// Replaces the fault seed (no-op for fault-free profiles' behavior).
     pub fn with_fault_seed(mut self, seed: u64) -> Self {
         self.fault_seed = seed;
+        self
+    }
+
+    /// Runs the profile under a simulated clock with the given service
+    /// model. Outcomes are unchanged; only time accounting differs.
+    pub fn with_sim(mut self, spec: SimSpec) -> Self {
+        self.sim = Some(spec);
         self
     }
 
@@ -818,5 +899,29 @@ mod tests {
         assert_eq!(p.backoff_before(3), Duration::from_millis(300));
         assert_eq!(p.backoff_before(4), Duration::from_millis(900));
         assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn total_backoff_sums_the_schedule() {
+        let p = RetryPolicy::retries(4, Duration::from_millis(100), 3);
+        assert_eq!(p.total_backoff(0), Duration::ZERO);
+        assert_eq!(p.total_backoff(1), Duration::ZERO);
+        assert_eq!(p.total_backoff(2), Duration::from_millis(100));
+        assert_eq!(p.total_backoff(3), Duration::from_millis(400));
+        assert_eq!(p.total_backoff(4), Duration::from_millis(1300));
+        // The sum is exactly the per-attempt schedule, term by term.
+        let by_terms: Duration = (1..=4).map(|a| p.backoff_before(a)).sum();
+        assert_eq!(p.total_backoff(4), by_terms);
+    }
+
+    #[test]
+    fn sim_profile_only_changes_time_accounting() {
+        let sim = NetProfile::named("sim").unwrap();
+        assert!(sim.sim.is_some());
+        // Same stack shape as the default profile: metered, fault-free.
+        assert!(sim.faults.is_none());
+        assert!(sim.metered);
+        assert_eq!(sim.retry, RetryPolicy::none());
+        assert!(NetProfile::default().sim.is_none());
     }
 }

@@ -1,0 +1,232 @@
+//! The discrete-event kernel: a shared logical clock and an actor system
+//! draining one [`EventQueue`].
+//!
+//! Simulation state is partitioned into [`Actor`]s — in the traffic
+//! workload a *client* actor (the load generator owning every in-flight
+//! session) and a *host* actor (the server fleet owning per-host
+//! connection pools). Actors never call each other: they exchange
+//! [`Addressed`] events through the kernel's queue, and the kernel
+//! advances the clock to each event's delivery time before dispatching
+//! it. Because the queue's delivery order is a pure function of the
+//! schedule calls (see [`EventQueue`]), an [`ActorSystem`] run is fully
+//! deterministic: same actors + same seeds ⇒ same event log, same final
+//! state, bit for bit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::queue::{EventId, EventQueue, SimTime};
+
+/// The shared logical clock. Cloning yields another handle onto the same
+/// instant; only the kernel (or a synchronous driver like `SimTransport`)
+/// advances it, and it never runs backwards.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock(Arc<AtomicU64>);
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current logical instant.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Advances by `d`, returning the new instant.
+    pub fn advance(&self, d: Duration) -> SimTime {
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        SimTime::from_nanos(self.0.fetch_add(nanos, Ordering::Relaxed) + nanos)
+    }
+
+    /// Advances to `at` (no-op when `at` is in the past — time is
+    /// monotonic).
+    pub fn advance_to(&self, at: SimTime) {
+        self.0.fetch_max(at.as_nanos(), Ordering::Relaxed);
+    }
+}
+
+/// Identifies one actor registered with an [`ActorSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActorId(pub(crate) u32);
+
+/// An event together with the actor it is addressed to.
+#[derive(Debug, Clone)]
+pub struct Addressed<E> {
+    /// Receiving actor.
+    pub to: ActorId,
+    /// Payload.
+    pub event: E,
+}
+
+/// One partition of simulation state. `handle` is called with the clock
+/// already advanced to the event's delivery time; the actor reacts by
+/// mutating its own state and scheduling further events through the
+/// [`Outbox`].
+pub trait Actor<E> {
+    /// Reacts to one delivered event.
+    fn handle(&mut self, now: SimTime, event: E, out: &mut Outbox<'_, E>);
+}
+
+/// The scheduling surface an actor sees while handling an event.
+pub struct Outbox<'a, E> {
+    queue: &'a mut EventQueue<Addressed<E>>,
+    now: SimTime,
+}
+
+impl<E> Outbox<'_, E> {
+    /// The current logical instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` for `to` after `delay` (zero delays deliver at the
+    /// current instant, after everything already scheduled for it).
+    pub fn send(&mut self, to: ActorId, delay: Duration, event: E) -> EventId {
+        self.queue
+            .schedule(self.now.after(delay), Addressed { to, event })
+    }
+
+    /// Cancels a previously scheduled event; `true` when it was pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+}
+
+/// The kernel: actors, queue, clock, and the run loop.
+pub struct ActorSystem<E> {
+    clock: SimClock,
+    queue: EventQueue<Addressed<E>>,
+    actors: Vec<Box<dyn Actor<E>>>,
+    delivered: u64,
+}
+
+impl<E> Default for ActorSystem<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> ActorSystem<E> {
+    /// An empty system at time zero.
+    pub fn new() -> Self {
+        ActorSystem {
+            clock: SimClock::new(),
+            queue: EventQueue::new(),
+            actors: Vec::new(),
+            delivered: 0,
+        }
+    }
+
+    /// The address the next registered actor will receive. Ids are
+    /// assigned in registration order, so mutually-referencing actors can
+    /// be wired up before they are boxed.
+    pub fn next_actor_id(&self) -> ActorId {
+        ActorId(u32::try_from(self.actors.len()).expect("actor overflow"))
+    }
+
+    /// Registers an actor, returning its address.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<E>>) -> ActorId {
+        let id = ActorId(u32::try_from(self.actors.len()).expect("actor overflow"));
+        self.actors.push(actor);
+        id
+    }
+
+    /// A handle onto the kernel clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Schedules an initial event from outside any actor.
+    pub fn send(&mut self, to: ActorId, at: SimTime, event: E) -> EventId {
+        self.queue.schedule(at, Addressed { to, event })
+    }
+
+    /// Delivers one event: advances the clock, dispatches the receiving
+    /// actor. Returns `false` when the queue has drained.
+    pub fn step(&mut self) -> bool {
+        let Some((at, _, addressed)) = self.queue.pop() else {
+            return false;
+        };
+        self.clock.advance_to(at);
+        self.delivered += 1;
+        let mut out = Outbox {
+            queue: &mut self.queue,
+            now: at,
+        };
+        self.actors[addressed.to.0 as usize].handle(at, addressed.event, &mut out);
+        true
+    }
+
+    /// Runs until the queue drains, returning `(final time, events
+    /// delivered)`.
+    pub fn run(&mut self) -> (SimTime, u64) {
+        while self.step() {}
+        (self.clock.now(), self.delivered)
+    }
+
+    /// Events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong pair: each actor echoes back `n - 1` until zero.
+    struct Pong {
+        peer: Option<ActorId>,
+        log: Vec<(u64, u32)>,
+    }
+
+    impl Actor<u32> for Pong {
+        fn handle(&mut self, now: SimTime, event: u32, out: &mut Outbox<'_, u32>) {
+            self.log.push((now.as_nanos(), event));
+            if event > 0 {
+                if let Some(peer) = self.peer {
+                    out.send(peer, Duration::from_millis(1), event - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_advances_logical_time() {
+        // Registration order fixes the ids, so peers can be named up front.
+        let (ping, pong) = (ActorId(0), ActorId(1));
+        let mut sys = ActorSystem::new();
+        assert_eq!(
+            sys.add_actor(Box::new(Pong {
+                peer: Some(pong),
+                log: Vec::new(),
+            })),
+            ping
+        );
+        assert_eq!(
+            sys.add_actor(Box::new(Pong {
+                peer: Some(ping),
+                log: Vec::new(),
+            })),
+            pong
+        );
+        sys.send(ping, SimTime::ZERO, 4);
+        let (end, delivered) = sys.run();
+        assert_eq!(delivered, 5, "4,3,2,1,0");
+        assert_eq!(end.as_duration(), Duration::from_millis(4));
+        assert_eq!(sys.delivered(), 5);
+    }
+
+    #[test]
+    fn clock_is_monotonic_and_shared() {
+        let clock = SimClock::new();
+        let view = clock.clone();
+        clock.advance(Duration::from_micros(5));
+        assert_eq!(view.now().as_nanos(), 5_000);
+        view.advance_to(SimTime::from_nanos(2_000));
+        assert_eq!(clock.now().as_nanos(), 5_000, "advance_to never rewinds");
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic discrete-event simulation for the redlight measurement
+//! pipeline.
+//!
+//! The synchronous crawl pipeline calls straight through the transport
+//! stack, so "time" was only ever recorded, never consumed. This crate
+//! adds a logical clock and an event kernel so elapsed time becomes a
+//! first-class simulated quantity:
+//!
+//! * [`queue`] — [`SimTime`] and the stable-order [`EventQueue`]
+//!   (`(time, seq)` tie-breaking, tombstone cancellation).
+//! * [`kernel`] — [`SimClock`], the [`Actor`] abstraction and the
+//!   [`ActorSystem`] run loop.
+//! * [`service`] — the per-request [`ServiceModel`] and per-host
+//!   connection [`HostPool`]s.
+//! * [`transport`] — [`SimTransport`], rehosting the websim `WebServer`
+//!   stack on the logical clock so crawler retries and fault stalls cost
+//!   real logical time, byte-identically to the synchronous path.
+//! * [`traffic`] — the million-visitor load-generator workload
+//!   ([`run_traffic`]), reporting throughput and latency percentiles
+//!   through `obs` histograms.
+//!
+//! Everything is seeded and wall-clock-free: same seed ⇒ same event log,
+//! same report, bit for bit.
+
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod queue;
+pub mod service;
+pub mod traffic;
+pub mod transport;
+
+pub use kernel::{Actor, ActorId, ActorSystem, Addressed, Outbox, SimClock};
+pub use queue::{EventId, EventQueue, SimTime};
+pub use service::{HostPool, ServiceModel};
+pub use traffic::{run_traffic, TierRow, TrafficConfig, TrafficReport};
+pub use transport::{SimHandle, SimTransport};

@@ -1,0 +1,240 @@
+//! Logical time and the pending-event queue.
+//!
+//! [`SimTime`] is a nanosecond count since simulation start — no wall
+//! clock anywhere. [`EventQueue`] is a binary heap keyed by `(time, seq)`:
+//! the sequence number is assigned at schedule time, so two events
+//! scheduled for the same instant always deliver in schedule order and
+//! delivery order is a pure function of the schedule calls. Cancellation
+//! leaves a tombstone that [`EventQueue::pop`] silently skips — a
+//! cancelled event is never delivered.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::Duration;
+
+/// A point in logical time: nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From raw nanoseconds.
+    pub fn from_nanos(nanos: u64) -> SimTime {
+        SimTime(nanos)
+    }
+
+    /// Raw nanoseconds since start.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// As a [`Duration`] since simulation start.
+    pub fn as_duration(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// This instant plus `d` (saturating; the simulation horizon is ~584
+    /// logical years, far beyond any workload).
+    pub fn after(self, d: Duration) -> SimTime {
+        SimTime(
+            self.0
+                .saturating_add(d.as_nanos().min(u64::MAX as u128) as u64),
+        )
+    }
+
+    /// Logical time elapsed since `earlier` (zero when `earlier` is later).
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+/// Handle to one scheduled event, usable to cancel it before delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+/// Heap entry: ordered by `(time, seq)` so ties break by schedule order.
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The pending-event set: a stable-order binary heap with cancellation.
+///
+/// Determinism contract: for a fixed sequence of `schedule`/`cancel`
+/// calls, the sequence of `pop` results is identical across runs and
+/// platforms — ordering depends only on `(time, seq)`, never on heap
+/// internals, hashing, or allocation.
+#[derive(Debug, Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` for delivery at `at`. Events at the same instant
+    /// deliver in the order they were scheduled.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+        EventId(seq)
+    }
+
+    /// Cancels a pending event. Returns `true` when the event was still
+    /// pending (it will never be delivered), `false` when it was already
+    /// delivered, cancelled, or never existed.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // Pending iff it is still in the heap; probing the heap is O(n), so
+        // track cancellations and let `pop` discard tombstones lazily. A
+        // second cancel of the same id — or a cancel after delivery — is a
+        // no-op reported as `false`.
+        if self.cancelled.contains(&id.0) || !self.is_pending(id) {
+            return false;
+        }
+        self.cancelled.insert(id.0);
+        true
+    }
+
+    fn is_pending(&self, id: EventId) -> bool {
+        self.heap.iter().any(|Reverse(e)| e.seq == id.0)
+    }
+
+    /// Delivers the next event: the pending `(time, seq)` minimum, skipping
+    /// cancelled tombstones. Panics if time would run backwards (a kernel
+    /// invariant, not a user-reachable state).
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            assert!(
+                entry.at >= self.last_popped,
+                "event queue delivered out of order: {:?} after {:?}",
+                entry.at,
+                self.last_popped
+            );
+            self.last_popped = entry.at;
+            return Some((entry.at, EventId(entry.seq), entry.event));
+        }
+        None
+    }
+
+    /// Delivery time of the next (non-cancelled) event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no deliverable event remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_then_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = |ms: u64| SimTime::from_nanos(ms * 1_000_000);
+        q.schedule(t(5), "b");
+        q.schedule(t(1), "a");
+        q.schedule(t(5), "c");
+        q.schedule(t(0), "zero");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, vec!["zero", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn cancellation_never_delivers() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(10), 'a');
+        let b = q.schedule(SimTime::from_nanos(20), 'b');
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports not-pending");
+        assert_eq!(q.len(), 1);
+        let (_, id, ev) = q.pop().unwrap();
+        assert_eq!((id, ev), (b, 'b'));
+        assert!(!q.cancel(b), "cancel after delivery reports not-pending");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_instant_ties_break_by_seq() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_nanos(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), 1);
+        q.schedule(SimTime::from_nanos(2), 2);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(2)));
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some(2));
+    }
+
+    #[test]
+    fn sim_time_arithmetic() {
+        let t = SimTime::ZERO.after(Duration::from_millis(3));
+        assert_eq!(t.as_nanos(), 3_000_000);
+        assert_eq!(t.since(SimTime::ZERO), Duration::from_millis(3));
+        assert_eq!(SimTime::ZERO.since(t), Duration::ZERO, "saturates");
+    }
+}

@@ -1,0 +1,992 @@
+//! The traffic workload: a seeded population of visitors walking the porn
+//! web under the simulated clock.
+//!
+//! The generator first *harvests* one page template per reachable porn
+//! site — a single real [`Browser`] visit through the bare [`WebServer`]
+//! yields the document plus its third-party fan-out, so the workload's
+//! request mix is the websim ecosystem's, not an invented one. It then
+//! runs two actors over the kernel:
+//!
+//! * **LoadGen** (the client) owns every in-flight session: seeded
+//!   arrivals, a popularity-weighted site choice, one-to-three page walks
+//!   with dwell time between pages, document retries consuming real
+//!   backoff on the logical clock.
+//! * **HostFleet** (the hosts) owns one [`HostPool`] per distinct host:
+//!   connection limits, FIFO queueing, per-request service times from the
+//!   [`ServiceModel`], and fault draws from the *same* cumulative
+//!   [`FaultSpec`] distribution the synchronous `FaultTransport` uses.
+//!
+//! Everything measurable flows through `obs`: counters and latency
+//! histograms on the shared [`Registry`], batch spans on the `traffic`
+//! tracer shard. All quantities in the final [`TrafficReport`] are
+//! logical, so the rendered report is byte-identical across runs of the
+//! same seed.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use redlight_browser::Browser;
+use redlight_net::geoip::Country;
+use redlight_net::http::ResourceKind;
+use redlight_net::transport::{BrowserKind, Fault, FaultSpec, NetProfile, SimSpec};
+use redlight_net::url::Url;
+use redlight_obs::{Counter, Histogram, ObsContext, Registry, Tracer};
+use redlight_rankings::PopularityTier;
+use redlight_report::table::{fmt_count, Table};
+use redlight_websim::{server::WebServer, World, WorldConfig};
+
+use crate::kernel::{Actor, ActorId, ActorSystem, Outbox};
+use crate::queue::SimTime;
+use crate::service::{mix, HostPool, ServiceModel};
+
+/// Sub-resources kept per page template (beyond the document itself).
+const MAX_SUBS: usize = 12;
+
+/// Draw-stream salts: each stochastic choice mixes its own salt so the
+/// streams are independent functions of `(seed, key)`.
+mod salt {
+    pub const GAP: u64 = 0x0067_6170;
+    pub const PAGES: u64 = 0x0070_6167_6573;
+    pub const SITE: u64 = 0x7369_7465;
+    pub const DWELL: u64 = 0x0064_7765_6c6c;
+    pub const WEIGHT: u64 = 0x7765_6967_6874;
+    pub const BYTES: u64 = 0x0062_7974_6573;
+    pub const FAULT: u64 = 0x0066_6175_6c74;
+    pub const PERSIST: u64 = 0x7065_7273;
+}
+
+fn draw(seed: u64, s: u64, key: u64) -> u64 {
+    mix(mix(seed, s), key)
+}
+
+fn hash_str(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+/// Configuration of one traffic run.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Visitor sessions to simulate.
+    pub sessions: u64,
+    /// Workload seed: arrivals, site choices, page counts, dwell, faults.
+    pub seed: u64,
+    /// The web the visitors browse.
+    pub world: WorldConfig,
+    /// Network weather; `net.sim` supplies the service model (defaulted
+    /// when absent) and `net.faults` the fault mix.
+    pub net: NetProfile,
+    /// Mean gap between session arrivals (uniform on `[0, 2·mean)`).
+    pub mean_interarrival: Duration,
+    /// Sessions per tracer batch span.
+    pub span_batch: u64,
+}
+
+impl TrafficConfig {
+    /// Defaults: tiny world, sim profile, 2 ms mean inter-arrival,
+    /// 10k-session span batches.
+    pub fn new(sessions: u64) -> Self {
+        TrafficConfig {
+            sessions,
+            seed: 2019,
+            world: WorldConfig::tiny(2019),
+            net: NetProfile::default().with_sim(SimSpec::default()),
+            mean_interarrival: Duration::from_millis(2),
+            span_batch: 10_000,
+        }
+    }
+}
+
+/// One request of a harvested page template.
+#[derive(Debug, Clone, Copy)]
+struct ReqTemplate {
+    host: u32,
+    bytes: u32,
+}
+
+/// One site's harvested page: the document plus its third-party fan-out.
+#[derive(Debug)]
+struct SiteTemplate {
+    tier: u8,
+    doc: ReqTemplate,
+    subs: Vec<ReqTemplate>,
+}
+
+/// The harvested workload universe.
+struct Universe {
+    templates: Vec<SiteTemplate>,
+    /// Cumulative popularity weights, parallel to `templates`.
+    cum_weights: Vec<u64>,
+    total_weight: u64,
+    hosts: usize,
+}
+
+/// Harvests one page template per reachable porn site by really visiting
+/// it through the bare server, then weights sites by popularity tier.
+fn harvest(world: &World, seed: u64) -> Universe {
+    let ctx = Browser::context_for(world, Country::Usa, BrowserKind::Selenium);
+    let mut browser = Browser::with_transport(Box::new(WebServer::new(world)), ctx);
+    let mut host_ids: HashMap<String, u32> = HashMap::new();
+    let intern = |host: &str, ids: &mut HashMap<String, u32>| -> u32 {
+        let next = ids.len() as u32;
+        *ids.entry(host.to_owned()).or_insert(next)
+    };
+
+    let mut templates = Vec::new();
+    let mut cum_weights = Vec::new();
+    let mut total_weight = 0u64;
+    for (idx, site) in world.sites.iter().enumerate() {
+        if !site.is_porn() || site.unresponsive || site.blocked_in.contains(&Country::Usa) {
+            continue;
+        }
+        let Ok(url) = Url::parse(&format!("https://{}/", site.domain)) else {
+            continue;
+        };
+        let visit = browser.visit(&url);
+        if !visit.success {
+            continue;
+        }
+        let answered: Vec<_> = visit
+            .requests
+            .iter()
+            .filter(|r| r.status.is_some())
+            .collect();
+        let Some(doc_req) = answered.first() else {
+            continue;
+        };
+        let doc = ReqTemplate {
+            host: intern(doc_req.url.host().as_str(), &mut host_ids),
+            bytes: visit.dom_html.len().max(1024) as u32,
+        };
+        let subs = answered[1..]
+            .iter()
+            .take(MAX_SUBS)
+            .map(|r| ReqTemplate {
+                host: intern(r.url.host().as_str(), &mut host_ids),
+                bytes: synth_bytes(
+                    r.kind,
+                    hash_str(r.url.host().as_str()) ^ hash_str(r.url.path()),
+                ),
+            })
+            .collect();
+        let tier = tier_index(site.tier);
+        // Popularity-tier base weight with deterministic intra-tier
+        // variation: tiers are roughly zipf-spaced, sites within a tier
+        // vary ±2× around the base.
+        let base = [420u64, 120, 30, 6][tier as usize];
+        let weight = base + draw(seed, salt::WEIGHT, idx as u64) % base;
+        total_weight += weight;
+        cum_weights.push(total_weight);
+        templates.push(SiteTemplate { tier, doc, subs });
+    }
+    Universe {
+        templates,
+        cum_weights,
+        total_weight,
+        hosts: host_ids.len(),
+    }
+}
+
+fn tier_index(tier: PopularityTier) -> u8 {
+    PopularityTier::ALL
+        .iter()
+        .position(|t| *t == tier)
+        .unwrap_or(3) as u8
+}
+
+/// Synthesized body size for a sub-resource: the browser's request log
+/// has no transfer sizes, so sizes are a pure function of the URL, scaled
+/// by resource kind.
+fn synth_bytes(kind: ResourceKind, h: u64) -> u32 {
+    let (base, span) = match kind {
+        ResourceKind::Document | ResourceKind::Frame => (8 * 1024, 56 * 1024),
+        ResourceKind::Script => (8 * 1024, 64 * 1024),
+        ResourceKind::Image => (4 * 1024, 36 * 1024),
+        ResourceKind::Stylesheet => (2 * 1024, 14 * 1024),
+        ResourceKind::Xhr | ResourceKind::Beacon | ResourceKind::Other => (300, 1_700),
+    };
+    base + (mix(salt::BYTES, h) % span) as u32
+}
+
+/// One in-flight request token, passed client → fleet → back.
+#[derive(Debug, Clone, Copy)]
+struct Ticket {
+    session: u32,
+    host: u32,
+    bytes: u32,
+    tier: u8,
+    doc: bool,
+    attempt: u8,
+    /// Service-jitter uid (fresh per attempt).
+    uid: u64,
+    /// Fault identity (stable across attempts of the same request).
+    fkey: u64,
+    enqueued: SimTime,
+}
+
+/// The traffic event alphabet.
+enum Ev {
+    /// A new session arrives at the load generator.
+    Arrive,
+    /// A session's dwell ended; walk the next page.
+    NextPage { session: u32 },
+    /// A request reaches the host fleet.
+    Request { t: Ticket },
+    /// A host finished serving (self-addressed by the fleet).
+    Served { t: Ticket, ok: bool },
+    /// The fleet reports an outcome back to the client.
+    Done {
+        session: u32,
+        doc: bool,
+        ok: bool,
+        attempt: u8,
+    },
+}
+
+/// Shared registry handles; cloned into both actors, read by the report.
+#[derive(Clone)]
+struct Hooks {
+    sessions: Counter,
+    sessions_done: Counter,
+    sessions_failed: Counter,
+    pages: Counter,
+    requests: Counter,
+    requests_failed: Counter,
+    retries: Counter,
+    faults: Counter,
+    backoff_ns: Counter,
+    request_us: Histogram,
+    page_us: Histogram,
+    session_us: Histogram,
+    tier_sessions: Vec<Counter>,
+    tier_requests: Vec<Counter>,
+    tier_request_us: Vec<Histogram>,
+}
+
+impl Hooks {
+    fn new(registry: &Registry) -> Self {
+        let tier = |stem: &str| {
+            PopularityTier::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, _)| format!("traffic.{stem}.tier{i}"))
+                .collect::<Vec<_>>()
+        };
+        Hooks {
+            sessions: registry.counter("traffic.sessions"),
+            sessions_done: registry.counter("traffic.sessions_completed"),
+            sessions_failed: registry.counter("traffic.sessions_failed"),
+            pages: registry.counter("traffic.pages"),
+            requests: registry.counter("traffic.requests"),
+            requests_failed: registry.counter("traffic.requests_failed"),
+            retries: registry.counter("traffic.retries"),
+            faults: registry.counter("traffic.faults_injected"),
+            backoff_ns: registry.counter("traffic.backoff_logical_ns"),
+            request_us: registry.histogram("traffic.request_us"),
+            page_us: registry.histogram("traffic.page_us"),
+            session_us: registry.histogram("traffic.session_us"),
+            tier_sessions: tier("sessions")
+                .iter()
+                .map(|n| registry.counter(n))
+                .collect(),
+            tier_requests: tier("requests")
+                .iter()
+                .map(|n| registry.counter(n))
+                .collect(),
+            tier_request_us: tier("request_us")
+                .iter()
+                .map(|n| registry.histogram(n))
+                .collect(),
+        }
+    }
+}
+
+/// Concurrency peaks (single-threaded kernel state, shared via `Rc`).
+#[derive(Debug, Default)]
+struct Peaks {
+    in_flight: u64,
+    peak_in_flight: u64,
+    peak_queue: usize,
+}
+
+/// One visitor session's live state.
+#[derive(Debug, Clone, Copy, Default)]
+struct SessionSlot {
+    sid: u64,
+    site: u32,
+    pages_done: u8,
+    pages_total: u8,
+    pending_subs: u16,
+    started: SimTime,
+    page_started: SimTime,
+}
+
+/// The client actor: owns every in-flight session.
+struct LoadGen {
+    me: ActorId,
+    fleet: ActorId,
+    target: u64,
+    seed: u64,
+    fault_seed: u64,
+    mean_gap_ns: u64,
+    span_batch: u64,
+    retry_max: u32,
+    retry_backoff: Vec<Duration>,
+    universe: Rc<Universe>,
+    slots: Vec<SessionSlot>,
+    free: Vec<u32>,
+    next_session: u64,
+    finished: u64,
+    next_uid: u64,
+    hooks: Hooks,
+    peaks: Rc<RefCell<Peaks>>,
+    tracer: Tracer,
+    batch_open: bool,
+}
+
+impl LoadGen {
+    fn backoff_before(&self, attempt: u32) -> Duration {
+        // Materialized schedule (the policy itself lives in net); index 0
+        // is attempt 2's pause.
+        self.retry_backoff
+            .get((attempt as usize).saturating_sub(2))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    fn send_doc(&mut self, slot: u32, attempt: u8, delay: Duration, out: &mut Outbox<'_, Ev>) {
+        let sess = self.slots[slot as usize];
+        let t = &self.universe.templates[sess.site as usize];
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        let fkey = draw(
+            self.fault_seed,
+            salt::FAULT,
+            mix(sess.sid, 0x1_0000 + sess.pages_done as u64),
+        );
+        out.send(
+            self.fleet,
+            delay,
+            Ev::Request {
+                t: Ticket {
+                    session: slot,
+                    host: t.doc.host,
+                    bytes: t.doc.bytes,
+                    tier: t.tier,
+                    doc: true,
+                    attempt,
+                    uid,
+                    fkey,
+                    enqueued: SimTime::ZERO,
+                },
+            },
+        );
+    }
+
+    fn send_subs(&mut self, slot: u32, out: &mut Outbox<'_, Ev>) -> u16 {
+        let sess = self.slots[slot as usize];
+        let t = &self.universe.templates[sess.site as usize];
+        let subs: Vec<ReqTemplate> = t.subs.clone();
+        let tier = t.tier;
+        for (i, sub) in subs.iter().enumerate() {
+            let uid = self.next_uid;
+            self.next_uid += 1;
+            let fkey = draw(
+                self.fault_seed,
+                salt::FAULT,
+                mix(
+                    sess.sid,
+                    0x2_0000 + ((sess.pages_done as u64) << 8) + i as u64,
+                ),
+            );
+            out.send(
+                self.fleet,
+                Duration::ZERO,
+                Ev::Request {
+                    t: Ticket {
+                        session: slot,
+                        host: sub.host,
+                        bytes: sub.bytes,
+                        tier,
+                        doc: false,
+                        attempt: 1,
+                        uid,
+                        fkey,
+                        enqueued: SimTime::ZERO,
+                    },
+                },
+            );
+        }
+        subs.len() as u16
+    }
+
+    fn page_done(&mut self, slot: u32, now: SimTime, out: &mut Outbox<'_, Ev>) {
+        self.hooks.pages.inc();
+        let sess = &mut self.slots[slot as usize];
+        self.hooks
+            .page_us
+            .record(now.since(sess.page_started).as_micros() as u64);
+        sess.pages_done += 1;
+        if sess.pages_done < sess.pages_total {
+            let dwell = Duration::from_secs(1)
+                + Duration::from_nanos(
+                    draw(
+                        self.seed,
+                        salt::DWELL,
+                        mix(sess.sid, sess.pages_done as u64),
+                    ) % 2_000_000_000,
+                );
+            out.send(self.me, dwell, Ev::NextPage { session: slot });
+        } else {
+            self.hooks.sessions_done.inc();
+            self.hooks
+                .session_us
+                .record(now.since(sess.started).as_micros() as u64);
+            self.teardown(slot);
+        }
+    }
+
+    fn teardown(&mut self, slot: u32) {
+        self.free.push(slot);
+        self.finished += 1;
+        let mut peaks = self.peaks.borrow_mut();
+        peaks.in_flight -= 1;
+        drop(peaks);
+        if self.finished == self.target && self.batch_open {
+            self.tracer.attr("last_batch", true);
+            self.tracer.close();
+            self.batch_open = false;
+        }
+    }
+}
+
+impl Actor<Ev> for LoadGen {
+    fn handle(&mut self, now: SimTime, event: Ev, out: &mut Outbox<'_, Ev>) {
+        match event {
+            Ev::Arrive => {
+                let sid = self.next_session;
+                self.next_session += 1;
+                if sid.is_multiple_of(self.span_batch) {
+                    if self.batch_open {
+                        self.tracer.close();
+                    }
+                    self.tracer
+                        .open(&format!("sessions.{}", sid / self.span_batch));
+                    self.tracer.attr("first_session", sid);
+                    self.batch_open = true;
+                }
+                let w = draw(self.seed, salt::SITE, sid) % self.universe.total_weight;
+                let site = self.universe.cum_weights.partition_point(|&c| c <= w) as u32;
+                let pages = 1 + (draw(self.seed, salt::PAGES, sid) % 3) as u8;
+                let slot = self.free.pop().unwrap_or_else(|| {
+                    self.slots.push(SessionSlot::default());
+                    (self.slots.len() - 1) as u32
+                });
+                self.slots[slot as usize] = SessionSlot {
+                    sid,
+                    site,
+                    pages_done: 0,
+                    pages_total: pages,
+                    pending_subs: 0,
+                    started: now,
+                    page_started: now,
+                };
+                self.hooks.sessions.inc();
+                self.hooks.tier_sessions[self.universe.templates[site as usize].tier as usize]
+                    .inc();
+                {
+                    let mut peaks = self.peaks.borrow_mut();
+                    peaks.in_flight += 1;
+                    peaks.peak_in_flight = peaks.peak_in_flight.max(peaks.in_flight);
+                }
+                self.send_doc(slot, 1, Duration::ZERO, out);
+                if self.next_session < self.target {
+                    let gap = draw(self.seed, salt::GAP, self.next_session)
+                        % (2 * self.mean_gap_ns).max(1);
+                    out.send(self.me, Duration::from_nanos(gap), Ev::Arrive);
+                }
+            }
+            Ev::NextPage { session } => {
+                self.slots[session as usize].page_started = now;
+                self.send_doc(session, 1, Duration::ZERO, out);
+            }
+            Ev::Done {
+                session,
+                doc,
+                ok,
+                attempt,
+            } => {
+                if doc {
+                    if ok {
+                        let subs = self.send_subs(session, out);
+                        self.slots[session as usize].pending_subs = subs;
+                        if subs == 0 {
+                            self.page_done(session, now, out);
+                        }
+                    } else if (attempt as u32) < self.retry_max {
+                        // The retry consumes its backoff as logical delay
+                        // before the request is re-issued — recorded and
+                        // elapsed time agree by construction.
+                        let pause = self.backoff_before(attempt as u32 + 1);
+                        self.hooks.retries.inc();
+                        self.hooks.backoff_ns.add(pause.as_nanos() as u64);
+                        self.send_doc(session, attempt + 1, pause, out);
+                    } else {
+                        self.hooks.sessions_failed.inc();
+                        self.teardown(session);
+                    }
+                } else {
+                    let sess = &mut self.slots[session as usize];
+                    sess.pending_subs -= 1;
+                    if sess.pending_subs == 0 {
+                        self.page_done(session, now, out);
+                    }
+                }
+            }
+            Ev::Request { .. } | Ev::Served { .. } => unreachable!("fleet-addressed event"),
+        }
+    }
+}
+
+/// The host actor: every distinct host's connection pool and fault dice.
+struct HostFleet {
+    me: ActorId,
+    client: ActorId,
+    pools: Vec<HostPool<Ticket>>,
+    model: ServiceModel,
+    faults: Option<FaultSpec>,
+    fault_seed: u64,
+    hooks: Hooks,
+    peaks: Rc<RefCell<Peaks>>,
+}
+
+impl HostFleet {
+    /// Decides a request's fate and its service duration. Fault identity
+    /// is the ticket's `fkey`, so retries of the same request re-roll
+    /// persistence exactly like `FaultTransport` does.
+    fn outcome(&self, t: &Ticket) -> (bool, Duration, bool) {
+        if let Some(spec) = self.faults {
+            let roll = (draw(self.fault_seed, salt::FAULT, t.fkey) % 1000) as u16;
+            if let Some(fault) = spec.classify(roll) {
+                let persistence = if spec.transient_attempts == 0 {
+                    u32::MAX
+                } else {
+                    1 + (draw(self.fault_seed, salt::PERSIST, t.fkey)
+                        % spec.transient_attempts as u64) as u32
+                };
+                if (t.attempt as u32) <= persistence {
+                    return match fault {
+                        Fault::Dns | Fault::Reset => {
+                            (false, self.model.connect_fail_time(t.uid), true)
+                        }
+                        Fault::Stall => (false, self.model.timeout_time(), true),
+                        Fault::ServerError => (false, self.model.service_time(1024, t.uid), true),
+                        Fault::Truncate => (
+                            true,
+                            self.model.service_time(t.bytes as u64 / 2, t.uid),
+                            true,
+                        ),
+                    };
+                }
+            }
+        }
+        (true, self.model.service_time(t.bytes as u64, t.uid), false)
+    }
+
+    fn start(&mut self, t: Ticket, out: &mut Outbox<'_, Ev>) {
+        let (ok, service, faulted) = self.outcome(&t);
+        if faulted {
+            self.hooks.faults.inc();
+        }
+        out.send(self.me, service, Ev::Served { t, ok });
+    }
+}
+
+impl Actor<Ev> for HostFleet {
+    fn handle(&mut self, now: SimTime, event: Ev, out: &mut Outbox<'_, Ev>) {
+        match event {
+            Ev::Request { mut t } => {
+                t.enqueued = now;
+                self.hooks.requests.inc();
+                self.hooks.tier_requests[t.tier as usize].inc();
+                let host = t.host as usize;
+                if let Some(admitted) = self.pools[host].admit(t) {
+                    self.start(admitted, out);
+                } else {
+                    let depth = self.pools[host].waiting();
+                    let mut peaks = self.peaks.borrow_mut();
+                    peaks.peak_queue = peaks.peak_queue.max(depth);
+                }
+            }
+            Ev::Served { t, ok } => {
+                let us = now.since(t.enqueued).as_micros() as u64;
+                self.hooks.request_us.record(us);
+                self.hooks.tier_request_us[t.tier as usize].record(us);
+                if !ok {
+                    self.hooks.requests_failed.inc();
+                }
+                if let Some(next) = self.pools[t.host as usize].complete() {
+                    self.start(next, out);
+                }
+                out.send(
+                    self.client,
+                    Duration::ZERO,
+                    Ev::Done {
+                        session: t.session,
+                        doc: t.doc,
+                        ok,
+                        attempt: t.attempt,
+                    },
+                );
+            }
+            Ev::Arrive | Ev::NextPage { .. } | Ev::Done { .. } => {
+                unreachable!("client-addressed event")
+            }
+        }
+    }
+}
+
+/// Per-tier latency row of a [`TrafficReport`].
+#[derive(Debug, Clone)]
+pub struct TierRow {
+    /// Tier label (`"0 — 1k"` …).
+    pub label: String,
+    /// Sessions that chose a site in this tier.
+    pub sessions: u64,
+    /// Requests issued on behalf of those sessions.
+    pub requests: u64,
+    /// Median request latency (µs, histogram bucket bound).
+    pub p50_us: u64,
+    /// Tail request latency (µs, histogram bucket bound).
+    pub p99_us: u64,
+}
+
+/// Everything a traffic run measured. All fields except [`wall`]
+/// (`TrafficReport::wall`) are logical and deterministic in the seed.
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    /// Sessions requested.
+    pub sessions: u64,
+    /// Sessions whose every page completed.
+    pub completed: u64,
+    /// Sessions abandoned after a document failed all retries.
+    pub failed: u64,
+    /// Pages fully loaded.
+    pub pages: u64,
+    /// Requests issued (documents + sub-resources, retries included).
+    pub requests: u64,
+    /// Requests that failed (after queueing/service).
+    pub failed_requests: u64,
+    /// Document retries issued.
+    pub retries: u64,
+    /// Faults injected by the fault plan.
+    pub faults: u64,
+    /// Logical time from first arrival to last completion.
+    pub makespan: Duration,
+    /// Total retry backoff consumed on the logical clock.
+    pub backoff: Duration,
+    /// Request latency percentiles (µs, inclusive bucket bounds).
+    pub request_p50_us: u64,
+    /// p95.
+    pub request_p95_us: u64,
+    /// p99.
+    pub request_p99_us: u64,
+    /// Page-load percentiles (µs).
+    pub page_p50_us: u64,
+    /// p99.
+    pub page_p99_us: u64,
+    /// Most sessions ever simultaneously in flight.
+    pub peak_in_flight: u64,
+    /// Deepest any host's FIFO connection queue got.
+    pub peak_queue: usize,
+    /// Distinct sites in the workload universe.
+    pub sites: usize,
+    /// Distinct hosts behind them.
+    pub hosts: usize,
+    /// Kernel events delivered.
+    pub events: u64,
+    /// Per-popularity-tier breakdown.
+    pub tiers: Vec<TierRow>,
+    /// Real wall time of the run — the one non-deterministic field; never
+    /// rendered by [`TrafficReport::render`].
+    pub wall: Duration,
+}
+
+impl TrafficReport {
+    /// Completed-plus-failed sessions per logical second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.completed + self.failed) as f64 / secs
+        }
+    }
+
+    /// Requests per logical second.
+    pub fn requests_per_sec(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / secs
+        }
+    }
+
+    /// The deterministic text report: logical quantities only.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Traffic workload ==\n");
+        out.push_str(&format!(
+            "sessions: {} ({} completed, {} failed)   pages: {}\n",
+            fmt_count(self.sessions as usize),
+            fmt_count(self.completed as usize),
+            fmt_count(self.failed as usize),
+            fmt_count(self.pages as usize),
+        ));
+        out.push_str(&format!(
+            "requests: {} ({} failed, {} retried, {} faults injected)\n",
+            fmt_count(self.requests as usize),
+            fmt_count(self.failed_requests as usize),
+            fmt_count(self.retries as usize),
+            fmt_count(self.faults as usize),
+        ));
+        out.push_str(&format!(
+            "logical makespan: {:.3} s   throughput: {:.1} sessions/s, {:.1} requests/s\n",
+            self.makespan.as_secs_f64(),
+            self.sessions_per_sec(),
+            self.requests_per_sec(),
+        ));
+        out.push_str(&format!(
+            "request latency (µs): p50 {}   p95 {}   p99 {}\n",
+            fmt_count(self.request_p50_us as usize),
+            fmt_count(self.request_p95_us as usize),
+            fmt_count(self.request_p99_us as usize),
+        ));
+        out.push_str(&format!(
+            "page load (µs):       p50 {}   p99 {}\n",
+            fmt_count(self.page_p50_us as usize),
+            fmt_count(self.page_p99_us as usize),
+        ));
+        out.push_str(&format!(
+            "backoff consumed: {:.3} s   peak in-flight: {} sessions   peak host queue: {}\n",
+            self.backoff.as_secs_f64(),
+            fmt_count(self.peak_in_flight as usize),
+            fmt_count(self.peak_queue),
+        ));
+        out.push_str(&format!(
+            "universe: {} sites, {} hosts   kernel events: {}\n",
+            fmt_count(self.sites),
+            fmt_count(self.hosts),
+            fmt_count(self.events as usize),
+        ));
+        out
+    }
+
+    /// The `--timings`-style "Traffic layer" table.
+    pub fn render_table(&self) -> String {
+        let mut table = Table::new(
+            "Traffic layer",
+            &["tier", "sessions", "requests", "p50 (µs)", "p99 (µs)"],
+        )
+        .align_right(&[1, 2, 3, 4]);
+        for row in &self.tiers {
+            table.row(&[
+                row.label.clone(),
+                fmt_count(row.sessions as usize),
+                fmt_count(row.requests as usize),
+                fmt_count(row.p50_us as usize),
+                fmt_count(row.p99_us as usize),
+            ]);
+        }
+        table.row(&[
+            "all".to_owned(),
+            fmt_count((self.completed + self.failed) as usize),
+            fmt_count(self.requests as usize),
+            fmt_count(self.request_p50_us as usize),
+            fmt_count(self.request_p99_us as usize),
+        ]);
+        table.render()
+    }
+}
+
+/// Runs the traffic workload to completion and reports what happened.
+///
+/// Memory stays bounded in the session count: live state is the in-flight
+/// session set (arrival-rate × session-duration, a few thousand) plus the
+/// pending-event heap — finished sessions recycle their slots.
+pub fn run_traffic(config: &TrafficConfig, obs: &ObsContext) -> TrafficReport {
+    let world = World::build(config.world.clone());
+    let spec = config.net.sim.unwrap_or_default();
+    let universe = Rc::new(harvest(&world, config.seed));
+    assert!(
+        universe.total_weight > 0,
+        "traffic universe is empty: no reachable porn site in the world"
+    );
+
+    let hooks = Hooks::new(&obs.metrics);
+    let peaks = Rc::new(RefCell::new(Peaks::default()));
+    let mut tracer = obs.trace.tracer("traffic");
+    tracer.open("traffic");
+    tracer.attr("sessions", config.sessions);
+    tracer.attr("sites", universe.templates.len() as u64);
+    tracer.attr("hosts", universe.hosts as u64);
+
+    let (client_id, fleet_id) = (ActorId(0), ActorId(1));
+    let retry = &config.net.retry;
+    let retry_backoff: Vec<Duration> = (2..=retry.max_attempts.max(1))
+        .map(|a| retry.backoff_before(a))
+        .collect();
+    let client = LoadGen {
+        me: client_id,
+        fleet: fleet_id,
+        target: config.sessions,
+        seed: config.seed,
+        fault_seed: config.net.fault_seed,
+        mean_gap_ns: config.mean_interarrival.as_nanos().max(1) as u64,
+        span_batch: config.span_batch.max(1),
+        retry_max: retry.max_attempts.max(1),
+        retry_backoff,
+        universe: Rc::clone(&universe),
+        slots: Vec::new(),
+        free: Vec::new(),
+        next_session: 0,
+        finished: 0,
+        next_uid: 0,
+        hooks: hooks.clone(),
+        peaks: Rc::clone(&peaks),
+        tracer,
+        batch_open: false,
+    };
+    let fleet = HostFleet {
+        me: fleet_id,
+        client: client_id,
+        pools: (0..universe.hosts)
+            .map(|_| HostPool::new(spec.conn_limit))
+            .collect(),
+        model: ServiceModel::new(spec),
+        faults: config.net.faults,
+        fault_seed: config.net.fault_seed,
+        hooks: hooks.clone(),
+        peaks: Rc::clone(&peaks),
+    };
+
+    let mut sys = ActorSystem::new();
+    assert_eq!(sys.add_actor(Box::new(client)), client_id);
+    assert_eq!(sys.add_actor(Box::new(fleet)), fleet_id);
+    if config.sessions > 0 {
+        sys.send(client_id, SimTime::ZERO, Ev::Arrive);
+    }
+    let wall_start = std::time::Instant::now();
+    let (end, events) = sys.run();
+    let wall = wall_start.elapsed();
+    drop(sys); // commits the tracer shard
+
+    let request_us = hooks.request_us.snapshot();
+    let page_us = hooks.page_us.snapshot();
+    let peaks = peaks.borrow();
+    let tiers = PopularityTier::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let snap = hooks.tier_request_us[i].snapshot();
+            TierRow {
+                label: t.label().to_owned(),
+                sessions: hooks.tier_sessions[i].get(),
+                requests: hooks.tier_requests[i].get(),
+                p50_us: snap.quantile(0.50),
+                p99_us: snap.quantile(0.99),
+            }
+        })
+        .collect();
+
+    TrafficReport {
+        sessions: config.sessions,
+        completed: hooks.sessions_done.get(),
+        failed: hooks.sessions_failed.get(),
+        pages: hooks.pages.get(),
+        requests: hooks.requests.get(),
+        failed_requests: hooks.requests_failed.get(),
+        retries: hooks.retries.get(),
+        faults: hooks.faults.get(),
+        makespan: end.as_duration(),
+        backoff: Duration::from_nanos(hooks.backoff_ns.get()),
+        request_p50_us: request_us.quantile(0.50),
+        request_p95_us: request_us.quantile(0.95),
+        request_p99_us: request_us.quantile(0.99),
+        page_p50_us: page_us.quantile(0.50),
+        page_p99_us: page_us.quantile(0.99),
+        peak_in_flight: peaks.peak_in_flight,
+        peak_queue: peaks.peak_queue,
+        sites: universe.templates.len(),
+        hosts: universe.hosts,
+        events,
+        tiers,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(sessions: u64) -> TrafficConfig {
+        TrafficConfig {
+            world: WorldConfig::tiny(7),
+            ..TrafficConfig::new(sessions)
+        }
+    }
+
+    #[test]
+    fn accounting_balances_and_sessions_finish() {
+        let obs = ObsContext::new();
+        let report = run_traffic(&tiny_config(200), &obs);
+        assert_eq!(report.completed + report.failed, 200);
+        assert!(
+            report.pages >= report.completed,
+            "≥1 page per completed session"
+        );
+        assert!(report.requests > report.pages, "documents plus fan-out");
+        assert_eq!(report.failed_requests, 0, "healthy default profile");
+        assert_eq!(report.backoff, Duration::ZERO);
+        assert!(report.makespan > Duration::ZERO);
+        assert!(report.request_p99_us >= report.request_p50_us);
+        let tier_sessions: u64 = report.tiers.iter().map(|t| t.sessions).sum();
+        assert_eq!(tier_sessions, 200);
+    }
+
+    #[test]
+    fn same_seed_same_report_different_seed_diverges() {
+        let a = run_traffic(&tiny_config(150), &ObsContext::new());
+        let b = run_traffic(&tiny_config(150), &ObsContext::new());
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.render_table(), b.render_table());
+        assert_eq!(a.events, b.events);
+        let mut other = tiny_config(150);
+        other.seed = 99;
+        let c = run_traffic(&other, &ObsContext::new());
+        assert_ne!(a.render(), c.render(), "seed must steer the workload");
+    }
+
+    #[test]
+    fn faulty_weather_slows_and_fails_traffic() {
+        let healthy = run_traffic(&tiny_config(150), &ObsContext::new());
+        let mut flaky = tiny_config(150);
+        flaky.net = NetProfile::named("flaky")
+            .unwrap()
+            .with_sim(SimSpec::default());
+        let stormy = run_traffic(&flaky, &ObsContext::new());
+        assert!(stormy.faults > 0);
+        assert!(stormy.retries > 0, "doc faults must trigger retries");
+        assert!(stormy.backoff > Duration::ZERO);
+        assert!(
+            stormy.makespan > healthy.makespan,
+            "faults cost logical time: {:?} vs {:?}",
+            stormy.makespan,
+            healthy.makespan
+        );
+    }
+}

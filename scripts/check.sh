@@ -27,6 +27,15 @@ PROPTEST_CASES=32 cargo test -q --test shard_equivalence
 echo "==> batch classification equivalence (batched == per-request verdicts)"
 PROPTEST_CASES=64 cargo test -q --test batch_equivalence
 
+echo "==> sim kernel properties (total order, cancellation, monotone drain)"
+PROPTEST_CASES=64 cargo test -q -p redlight-sim --test kernel_props
+
+echo "==> traffic determinism (seed-pinned report, journal, logical walls)"
+cargo test -q --test traffic_determinism
+
+echo "==> sim-vs-sync equivalence (sim-hosted study byte-identical)"
+cargo test -q --test sim_equivalence
+
 echo "==> ats_match bench smoke (--test mode, 1 iteration per bench)"
 cargo bench -p redlight-bench --bench ats_match -- --test
 
@@ -55,6 +64,29 @@ for row in rows:
     assert row["requests"] > 0 and row["batch_rps"] > 0, row
     assert 0.0 <= row["prefilter_hit_rate"] <= 1.0, row
 print(f"hotpath OK: {len(rows)} row(s), {rows[0]['requests']} requests at 1x")
+PYEOF
+
+echo "==> traffic bench smoke (--test mode, small sweep, JSON keys validated)"
+cargo bench -p redlight-bench --bench traffic -- --test
+python3 - <<'PYEOF'
+import json
+doc = json.load(open("BENCH_traffic.json"))
+assert doc["bench"] == "traffic", doc
+rows = doc["rows"]
+assert rows, "traffic sweep produced no rows"
+keys = {
+    "sessions", "events", "requests", "events_per_wall_sec",
+    "sessions_per_wall_sec", "logical_sessions_per_sec",
+    "logical_requests_per_sec", "makespan_s", "request_p50_us",
+    "request_p95_us", "request_p99_us", "page_p50_us", "page_p99_us",
+    "peak_in_flight", "peak_queue", "kernel_wall_s", "total_wall_s",
+}
+for row in rows:
+    missing = keys - row.keys()
+    assert not missing, f"traffic row lacks {sorted(missing)}"
+    assert row["sessions"] > 0 and row["events"] > 0, row
+    assert row["request_p99_us"] >= row["request_p50_us"], row
+print(f"traffic OK: {len(rows)} row(s), {rows[0]['sessions']} sessions")
 PYEOF
 
 echo "==> observability exporter smoke (collection-only, all three formats)"

@@ -28,6 +28,8 @@
 //! * [`analysis`] — every §3–§7 analysis;
 //! * [`blocklist`] — the Adblock-Plus filter engine + entity lists;
 //! * [`net`] / [`html`] / [`script`] / [`text`] / [`rankings`] — substrates;
+//! * [`sim`] — the discrete-event kernel, simulated transport and the
+//!   million-visitor traffic workload;
 //! * [`report`] — table/figure rendering and paper-value comparisons.
 
 #![warn(missing_docs)]
@@ -43,6 +45,7 @@ pub use redlight_obs as obs;
 pub use redlight_rankings as rankings;
 pub use redlight_report as report;
 pub use redlight_script as script;
+pub use redlight_sim as sim;
 pub use redlight_text as text;
 pub use redlight_websim as websim;
 

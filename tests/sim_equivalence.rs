@@ -1,0 +1,36 @@
+//! The simulated clock is purely additive: a full study run through
+//! `SimTransport` (the `sim` net profile) must produce byte-identical
+//! results to the synchronous default path. The sim decorator charges
+//! logical time per outcome but returns every outcome untouched, so only
+//! *when* things happen changes — never *what*.
+
+use redlight::net::transport::{NetProfile, SimSpec};
+use redlight::{Study, StudyConfig};
+
+#[test]
+fn sim_hosted_study_matches_synchronous_study_byte_for_byte() {
+    let sync_config = StudyConfig::tiny(2019);
+    let mut sim_config = StudyConfig::tiny(2019);
+    sim_config.net = sim_config.net.with_sim(SimSpec::default());
+    assert!(sim_config.net.sim.is_some());
+
+    let sync_results = Study::run(sync_config);
+    let sim_results = Study::run(sim_config);
+
+    assert_eq!(
+        sync_results.render_summary(),
+        sim_results.render_summary(),
+        "sim rehosting must not change any measured result"
+    );
+}
+
+#[test]
+fn sim_profile_equals_default_profile_modulo_time() {
+    // The named `sim` profile is exactly `default` plus a service model.
+    let sim = NetProfile::named("sim").expect("sim profile registered");
+    let default = NetProfile::default();
+    assert_eq!(sim.faults, default.faults);
+    assert_eq!(sim.metered, default.metered);
+    assert_eq!(sim.retry, default.retry);
+    assert!(sim.sim.is_some() && default.sim.is_none());
+}
