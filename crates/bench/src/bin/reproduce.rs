@@ -41,6 +41,9 @@
 //! byte-identical files):
 //!
 //! * `--trace <path>` — Chrome `trace_event` JSON, loadable in Perfetto.
+//!   Deterministic counters and gauges additionally export as counter
+//!   (`"C"`) tracks, and a `--traffic` timeline adds its windowed series
+//!   as a second counter process.
 //! * `--trace-events <path>` — the span journal as JSON lines.
 //! * `--metrics <path>` — Prometheus-style text exposition of every counter.
 //! * `--collect-only` — stop after the collection layer (no analysis);
@@ -55,13 +58,24 @@
 //! with real wall time on stderr only. Honors `--seed`, `--net-profile`,
 //! `--fault-seed`, `--sites-scale`; `--timings` appends the per-tier
 //! "Traffic layer" table; the export flags write the traffic journal.
+//!
+//! Timeline telemetry (`--traffic` only):
+//!
+//! * `--timeline <path>` — record windowed metric series over logical time
+//!   and write them as JSON lines to `<path>` plus a plot-ready CSV
+//!   sibling (`<path>` with its extension swapped for `.csv`). The file
+//!   also carries SLO transition lines and a flight-recorder summary.
+//! * `--timeline-window <ms>` — window width in logical milliseconds
+//!   (default 1000).
+//! * `--timings` — additionally prints the timeline sparkline summary
+//!   (and enables sampling even without `--timeline`).
 
 use redlight_core::results::StageReport;
 use redlight_core::{stages, Study, StudyConfig, StudyResults};
 use redlight_net::transport::{NetProfile, SimSpec};
-use redlight_obs::ObsContext;
+use redlight_obs::{ObsContext, Timeline};
 use redlight_report::paper::{self, Comparison};
-use redlight_sim::{run_traffic, TrafficConfig};
+use redlight_sim::{run_traffic, TimelineSpec, TrafficConfig};
 use redlight_websim::World;
 
 fn main() {
@@ -100,6 +114,18 @@ fn main() {
     let trace_out = path_arg("--trace");
     let events_out = path_arg("--trace-events");
     let metrics_out = path_arg("--metrics");
+    let timeline_out = path_arg("--timeline");
+    // Window width in logical milliseconds; absent ⇒ 1 s windows.
+    let timeline_window_ms: u64 = match args.iter().position(|a| a == "--timeline-window") {
+        None => 1_000,
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => {
+                eprintln!("--timeline-window expects a positive millisecond count");
+                std::process::exit(2);
+            }
+        },
+    };
     // Positive-count flags: absent ⇒ 1, `0` or unparsable ⇒ usage error.
     let count_arg = |flag: &str| -> usize {
         match args.iter().position(|a| a == flag) {
@@ -180,8 +206,14 @@ fn main() {
             &trace_out,
             &events_out,
             &metrics_out,
+            &timeline_out,
+            timeline_window_ms,
         );
         return;
+    }
+    if timeline_out.is_some() {
+        eprintln!("--timeline requires --traffic <sessions>");
+        std::process::exit(2);
     }
 
     eprintln!(
@@ -251,6 +283,8 @@ fn run_traffic_mode(
     trace_out: &Option<String>,
     events_out: &Option<String>,
     metrics_out: &Option<String>,
+    timeline_out: &Option<String>,
+    timeline_window_ms: u64,
 ) {
     let net = if config.net.sim.is_some() {
         config.net.clone()
@@ -259,11 +293,16 @@ fn run_traffic_mode(
         // in while keeping the profile's faults/retries/seed.
         config.net.clone().with_sim(SimSpec::default())
     };
+    // Timeline sampling rides along whenever something will consume it: a
+    // `--timeline` file or the `--timings` sparkline summary.
+    let timeline_spec = (timeline_out.is_some() || timings)
+        .then(|| TimelineSpec::with_window(std::time::Duration::from_millis(timeline_window_ms)));
     let traffic_config = TrafficConfig {
         sessions,
         seed,
         world: config.world.clone(),
         net,
+        timeline: timeline_spec,
         ..TrafficConfig::new(sessions)
     };
     eprintln!("simulating {sessions} visitor sessions (seed {seed})…");
@@ -276,8 +315,29 @@ fn run_traffic_mode(
     print!("{}", report.render());
     if timings {
         println!("\n{}", report.render_table());
+        if let Some(tl) = &report.timeline {
+            println!("\n{}", tl.render());
+        }
     }
-    export_obs(&obs, trace_out, events_out, metrics_out);
+    if let (Some(path), Some(tl)) = (timeline_out, &report.timeline) {
+        write_or_die(path, &tl.json_lines());
+        let csv_path = match path.rsplit_once('.') {
+            Some((stem, _)) => format!("{stem}.csv"),
+            None => format!("{path}.csv"),
+        };
+        write_or_die(&csv_path, &tl.csv());
+        eprintln!(
+            "wrote timeline ({} windows) to {path} + {csv_path}",
+            tl.timeline.windows().len()
+        );
+    }
+    export_obs_with(
+        &obs,
+        trace_out,
+        events_out,
+        metrics_out,
+        report.timeline.as_ref().map(|tl| &tl.timeline),
+    );
 }
 
 /// Per-crawl shard statistics — only surfaced on sharded runs.
@@ -353,12 +413,26 @@ fn export_obs(
     events: &Option<String>,
     metrics: &Option<String>,
 ) {
+    export_obs_with(obs, trace, events, metrics, None);
+}
+
+/// [`export_obs`] plus an optional traffic timeline: the Chrome trace then
+/// carries counter ("C") tracks for the deterministic registry metrics and
+/// the timeline's windowed series.
+fn export_obs_with(
+    obs: &ObsContext,
+    trace: &Option<String>,
+    events: &Option<String>,
+    metrics: &Option<String>,
+    timeline: Option<&Timeline>,
+) {
     if !obs.is_enabled() {
         return;
     }
     let journal = obs.trace.journal();
     if let Some(path) = trace {
-        write_or_die(path, &journal.chrome_trace());
+        let counters = obs.metrics.snapshot();
+        write_or_die(path, &journal.chrome_trace_with(Some(&counters), timeline));
         eprintln!(
             "wrote Chrome trace ({} spans) to {path} — load it at ui.perfetto.dev",
             journal.len()

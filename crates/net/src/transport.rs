@@ -589,6 +589,56 @@ impl Default for SimSpec {
     }
 }
 
+/// Service-level objectives declared on a [`NetProfile`], as plain data.
+///
+/// Consumers (the traffic simulator's timeline telemetry) evaluate the
+/// objectives per logical-time window: the latency objective compares the
+/// window's request p99 against `latency_p99_us`, and the error objective
+/// computes a burn rate — observed failure fraction over the allowed
+/// `error_pm` — across a short and a long lookback, alerting only when
+/// **both** burn (the classic multi-window page rule, which ignores
+/// one-window blips and long-faded incidents alike).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloSpec {
+    /// Latency objective: windowed request p99 must stay at or under this
+    /// many (logical) microseconds.
+    pub latency_p99_us: u64,
+    /// Error budget: allowed failed requests per mille.
+    pub error_pm: u32,
+    /// Short burn lookback, in windows.
+    pub short_windows: usize,
+    /// Long burn lookback, in windows.
+    pub long_windows: usize,
+    /// Burn-rate alert threshold, ×100 (200 = burning budget at 2×).
+    pub burn_threshold_x100: u64,
+}
+
+impl Default for SloSpec {
+    fn default() -> Self {
+        SloSpec {
+            latency_p99_us: 50_000,
+            error_pm: 10,
+            short_windows: 5,
+            long_windows: 30,
+            burn_threshold_x100: 200,
+        }
+    }
+}
+
+impl SloSpec {
+    /// The equivalent `obs`-layer policy, for feeding an
+    /// [`SloTracker`](redlight_obs::SloTracker).
+    pub fn policy(&self) -> redlight_obs::SloPolicy {
+        redlight_obs::SloPolicy {
+            latency_p99_us: self.latency_p99_us,
+            error_pm: self.error_pm,
+            short_windows: self.short_windows,
+            long_windows: self.long_windows,
+            burn_threshold_x100: self.burn_threshold_x100,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Profiles
 // ---------------------------------------------------------------------------
@@ -609,6 +659,9 @@ pub struct NetProfile {
     /// Simulated-time service model; `None` runs the legacy call-and-return
     /// pipeline where backoff stays recorded-only.
     pub sim: Option<SimSpec>,
+    /// Service-level objectives, `None` when the run declares no SLOs
+    /// (timeline consumers then fall back to [`SloSpec::default`]).
+    pub slo: Option<SloSpec>,
 }
 
 impl Default for NetProfile {
@@ -619,6 +672,7 @@ impl Default for NetProfile {
             metered: true,
             retry: RetryPolicy::none(),
             sim: None,
+            slo: None,
         }
     }
 }
@@ -645,12 +699,14 @@ impl NetProfile {
                 faults: Some(FaultSpec::flaky()),
                 fault_seed: 1,
                 retry: RetryPolicy::retries(3, Duration::from_millis(250), 4),
+                slo: Some(SloSpec::default()),
                 ..NetProfile::default()
             }),
             "lossy" => Some(NetProfile {
                 faults: Some(FaultSpec::lossy()),
                 fault_seed: 1,
                 retry: RetryPolicy::retries(4, Duration::from_millis(250), 4),
+                slo: Some(SloSpec::default()),
                 ..NetProfile::default()
             }),
             // The default healthy network under a simulated clock: outcomes

@@ -16,7 +16,9 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use crate::json;
+use crate::metrics::{MetricValue, MetricsSnapshot, Unit};
 use crate::span::{AttrVal, Shard};
+use crate::timeline::Timeline;
 
 /// One span in the merged journal.
 #[derive(Debug, Clone)]
@@ -53,10 +55,18 @@ pub struct Journal {
 
 impl Journal {
     pub(crate) fn build(shards: &BTreeMap<String, Shard>) -> Journal {
+        // Shards with no spans (a worker that recorded only metrics, or
+        // whose cap swallowed everything) contribute their drop count but
+        // must not shift span ids, tids or the logical clock: the journal
+        // of `{A, empty, B}` is byte-identical to the journal of `{A, B}`.
+
         // Pass 1: global ids in (shard name, preorder) order.
         let mut first_id = BTreeMap::new();
         let mut next_id = 1u64;
         for (name, shard) in shards {
+            if shard.spans.is_empty() {
+                continue;
+            }
             first_id.insert(name.as_str(), next_id);
             next_id += shard.spans.len() as u64;
         }
@@ -72,8 +82,13 @@ impl Journal {
         let mut spans = Vec::new();
         let mut dropped = 0u64;
         let mut clock = 0u64;
-        for (tid, (name, shard)) in shards.iter().enumerate() {
+        let mut tid = 0usize;
+        for (name, shard) in shards {
             dropped += shard.dropped;
+            if shard.spans.is_empty() {
+                continue;
+            }
+            tid += 1;
             let base = first_id[name.as_str()];
             let link_parent = shard
                 .link
@@ -103,7 +118,7 @@ impl Journal {
                     parent,
                     name: rec.name.clone(),
                     shard: name.clone(),
-                    tid: tid as u32 + 1,
+                    tid: tid as u32,
                     ts: clock,
                     end: 0,
                     wall: rec.wall,
@@ -181,12 +196,31 @@ impl Journal {
     /// `M` metadata events naming the tracks. Timestamps are logical ticks
     /// (the viewer only needs order and nesting).
     pub fn chrome_trace(&self) -> String {
+        self.chrome_trace_with(None, None)
+    }
+
+    /// [`Journal::chrome_trace`] plus counter (`"C"`) tracks.
+    ///
+    /// With `counters`, every [`Unit::Count`] counter and every gauge in
+    /// the snapshot gets a two-point counter track on pid 1 (value 0 at
+    /// tick 0, final value at the last span tick) so ordinary study runs
+    /// see transport retries, cache hits etc. alongside the spans.
+    /// With `timeline`, each closed window emits one counter event per
+    /// tracked series on pid 2 (timestamps are the windows' logical ends
+    /// in microseconds) — Perfetto renders throughput, queue-depth and
+    /// p99 curves next to the span tracks.
+    pub fn chrome_trace_with(
+        &self,
+        counters: Option<&MetricsSnapshot>,
+        timeline: Option<&Timeline>,
+    ) -> String {
         let mut events: Vec<(u64, bool, &JournalSpan)> = Vec::new();
         for span in &self.spans {
             events.push((span.ts, true, span));
             events.push((span.end, false, span));
         }
         events.sort_by_key(|(tick, _, _)| *tick);
+        let last_tick = events.last().map(|(tick, _, _)| *tick).unwrap_or(0);
 
         let mut out = String::from("{\"traceEvents\":[\n");
         out.push_str(
@@ -225,6 +259,53 @@ impl Journal {
                 json::push_attrs(&mut out, &attrs);
             }
             out.push('}');
+        }
+        let push_counter = |out: &mut String, pid: u32, ts: u64, name: &str, value: i64| {
+            out.push_str(",\n{\"ph\":\"C\",\"pid\":");
+            out.push_str(&pid.to_string());
+            out.push_str(",\"tid\":0,\"ts\":");
+            out.push_str(&ts.to_string());
+            out.push_str(",\"name\":");
+            json::push_str_literal(out, name);
+            out.push_str(",\"args\":{\"value\":");
+            out.push_str(&value.to_string());
+            out.push_str("}}");
+        };
+        if let Some(snap) = counters {
+            for (name, value) in &snap.entries {
+                let value = match value {
+                    MetricValue::Counter {
+                        value,
+                        unit: Unit::Count,
+                    } => *value as i64,
+                    MetricValue::Gauge { value } => *value,
+                    _ => continue,
+                };
+                if value == 0 {
+                    continue;
+                }
+                push_counter(&mut out, 1, 0, name, 0);
+                push_counter(&mut out, 1, last_tick, name, value);
+            }
+        }
+        if let Some(tl) = timeline {
+            out.push_str(
+                ",\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":2,\"tid\":0,\
+                 \"args\":{\"name\":\"timeline (logical \\u00b5s)\"}}",
+            );
+            for w in tl.windows() {
+                let ts = w.end_ns / 1_000;
+                for (i, name) in tl.counter_names().iter().enumerate() {
+                    push_counter(&mut out, 2, ts, name, w.counters[i] as i64);
+                }
+                for (i, name) in tl.gauge_names().iter().enumerate() {
+                    push_counter(&mut out, 2, ts, name, w.gauges[i]);
+                }
+                for (i, name) in tl.hist_names().iter().enumerate() {
+                    let label = format!("{name}.p99");
+                    push_counter(&mut out, 2, ts, &label, w.hists[i].p99 as i64);
+                }
+            }
         }
         out.push_str("\n]}\n");
         out
@@ -327,5 +408,87 @@ mod tests {
         let lines = journal.json_lines();
         assert_eq!(lines.lines().count(), journal.len());
         assert!(lines.lines().all(|l| l.starts_with("{\"id\":")));
+    }
+
+    #[test]
+    fn empty_shards_do_not_shift_ids_ticks_or_tids() {
+        fn shard_with(names: &[&str]) -> Shard {
+            let mut shard = Shard::default();
+            for name in names {
+                shard.spans.push(crate::span::SpanRec {
+                    name: (*name).to_string(),
+                    parent: None,
+                    attrs: Vec::new(),
+                    wall: Duration::ZERO,
+                });
+            }
+            shard
+        }
+
+        let mut with_empty = BTreeMap::new();
+        with_empty.insert("00.root".to_string(), shard_with(&["collect"]));
+        let quiet = Shard {
+            dropped: 3,
+            ..Default::default()
+        };
+        with_empty.insert("01.metrics-only".to_string(), quiet);
+        with_empty.insert("02.worker".to_string(), shard_with(&["crawl"]));
+
+        let mut without = BTreeMap::new();
+        without.insert("00.root".to_string(), shard_with(&["collect"]));
+        without.insert("02.worker".to_string(), shard_with(&["crawl"]));
+
+        let a = Journal::build(&with_empty);
+        let b = Journal::build(&without);
+        assert_eq!(a.json_lines(), b.json_lines());
+        let tids = |j: &Journal| j.spans.iter().map(|s| s.tid).collect::<Vec<_>>();
+        assert_eq!(tids(&a), vec![1, 2], "tids stay dense and 1-based");
+        assert_eq!(tids(&a), tids(&b));
+        assert_eq!(a.dropped, 3, "drop counts still accumulate");
+        assert_eq!(b.dropped, 0);
+    }
+
+    #[test]
+    fn metrics_only_worker_leaves_journal_unchanged() {
+        let baseline = sample_trace().journal().json_lines();
+        let trace = sample_trace();
+        // A worker that records metrics but never opens a span: its tracer
+        // finishes empty and must not perturb the merged journal.
+        let quiet = trace.tracer("02.metrics-only");
+        quiet.finish();
+        assert_eq!(trace.journal().json_lines(), baseline);
+    }
+
+    #[test]
+    fn chrome_trace_with_adds_counter_tracks() {
+        let journal = sample_trace().journal();
+        assert_eq!(
+            journal.chrome_trace(),
+            journal.chrome_trace_with(None, None),
+            "plain export is the no-extras case"
+        );
+
+        let registry = crate::Registry::new();
+        registry.counter("transport_retries").add(7);
+        registry.counter_with_unit("crawl_ns", Unit::Nanos).add(9);
+        registry.gauge("depth").set(2);
+        let snap = registry.snapshot();
+        let trace = journal.chrome_trace_with(Some(&snap), None);
+        assert_eq!(trace.matches("\"ph\":\"C\"").count(), 4);
+        assert!(trace.contains("\"name\":\"transport_retries\""));
+        assert!(trace.contains("\"name\":\"depth\""));
+        assert!(
+            !trace.contains("crawl_ns"),
+            "wall-time counters stay out of deterministic exports"
+        );
+
+        let mut tl = Timeline::new(Duration::from_millis(1));
+        let c = registry.counter("transport_retries");
+        tl.track_counter(&registry, "transport_retries");
+        c.add(5);
+        tl.finish(2_000_000);
+        let traced = journal.chrome_trace_with(None, Some(&tl));
+        assert!(traced.contains("\"pid\":2"));
+        assert!(traced.contains("\"name\":\"transport_retries\""));
     }
 }

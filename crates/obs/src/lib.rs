@@ -29,6 +29,7 @@ mod journal;
 pub mod json;
 mod metrics;
 mod span;
+mod timeline;
 
 pub use journal::{Journal, JournalSpan};
 pub use metrics::{
@@ -36,6 +37,7 @@ pub use metrics::{
     HISTOGRAM_BUCKETS,
 };
 pub use span::{AttrVal, SpanLink, Trace, Tracer, DEFAULT_SHARD_CAP};
+pub use timeline::{SloEvent, SloKind, SloPolicy, SloTracker, Timeline, WindowHist, WindowRow};
 
 /// The pair every observed entry point threads through the pipeline: a
 /// span collector and a metrics registry.

@@ -101,6 +101,10 @@ pub const HISTOGRAM_BUCKETS: usize = 65;
 struct HistCells {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     sum: AtomicU64,
+    /// Exact smallest observed value; `u64::MAX` sentinel while empty.
+    min: AtomicU64,
+    /// Exact largest observed value; only meaningful once non-empty.
+    max: AtomicU64,
 }
 
 impl Default for HistCells {
@@ -108,6 +112,8 @@ impl Default for HistCells {
         HistCells {
             buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
         }
     }
 }
@@ -149,6 +155,8 @@ impl Histogram {
     pub fn record(&self, v: u64) {
         self.cells.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.cells.sum.fetch_add(v, Ordering::Relaxed);
+        self.cells.min.fetch_min(v, Ordering::Relaxed);
+        self.cells.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Folds a snapshot (e.g. from a worker shard) into this histogram.
@@ -159,6 +167,10 @@ impl Histogram {
             }
         }
         self.cells.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        // Empty snapshots carry the sentinels (MAX/0), which are identity
+        // elements for min/max — no emptiness check needed.
+        self.cells.min.fetch_min(snap.min_raw, Ordering::Relaxed);
+        self.cells.max.fetch_max(snap.max_raw, Ordering::Relaxed);
     }
 
     /// Immutable copy of the current buckets.
@@ -172,17 +184,36 @@ impl Histogram {
         HistogramSnapshot {
             buckets,
             sum: self.cells.sum.load(Ordering::Relaxed),
+            min_raw: self.cells.min.load(Ordering::Relaxed),
+            max_raw: self.cells.max.load(Ordering::Relaxed),
         }
     }
 }
 
 /// Plain-data copy of a [`Histogram`].
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Per-bucket observation counts ([`HISTOGRAM_BUCKETS`] entries).
     pub buckets: Vec<u64>,
     /// Sum of all recorded values.
     pub sum: u64,
+    /// Exact smallest observed value (`u64::MAX` sentinel when empty; use
+    /// [`HistogramSnapshot::min`]).
+    pub min_raw: u64,
+    /// Exact largest observed value (0 when empty; use
+    /// [`HistogramSnapshot::max`]).
+    pub max_raw: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: Vec::new(),
+            sum: 0,
+            min_raw: u64::MAX,
+            max_raw: 0,
+        }
+    }
 }
 
 impl HistogramSnapshot {
@@ -191,7 +222,19 @@ impl HistogramSnapshot {
         self.buckets.iter().sum()
     }
 
-    /// Bucket-wise merge.
+    /// Exact smallest observed value, `None` when empty. Unlike
+    /// [`HistogramSnapshot::quantile`], this is not bucket-resolution.
+    pub fn min(&self) -> Option<u64> {
+        (self.count() > 0).then_some(self.min_raw)
+    }
+
+    /// Exact largest observed value, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then_some(self.max_raw)
+    }
+
+    /// Bucket-wise merge. Min/max fold exactly: the sentinels of an empty
+    /// side are identity elements.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         if self.buckets.is_empty() {
             self.buckets = vec![0; HISTOGRAM_BUCKETS];
@@ -201,6 +244,29 @@ impl HistogramSnapshot {
         }
         // Value sums wrap, matching the atomic `fetch_add` recording path.
         self.sum = self.sum.wrapping_add(other.sum);
+        self.min_raw = self.min_raw.min(other.min_raw);
+        self.max_raw = self.max_raw.max(other.max_raw);
+    }
+
+    /// The bucket-wise difference `self − earlier`, for windowed views of
+    /// a monotone histogram (`earlier` must be a previous snapshot of the
+    /// same histogram). Min/max cannot be reconstructed per window, so the
+    /// delta carries the empty sentinels.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = if earlier.buckets.is_empty() {
+            self.buckets.clone()
+        } else {
+            self.buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect()
+        };
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.wrapping_sub(earlier.sum),
+            ..HistogramSnapshot::default()
+        }
     }
 
     /// Quantile estimate: the inclusive upper bound of the first bucket at
@@ -465,6 +531,12 @@ impl MetricsSnapshot {
                     let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
                     let _ = writeln!(out, "{name}_sum {}", snap.sum);
                     let _ = writeln!(out, "{name}_count {cumulative}");
+                    // Exact observed extremes (the buckets are log-2, so
+                    // quantiles alone are bound-resolution only).
+                    if let (Some(lo), Some(hi)) = (snap.min(), snap.max()) {
+                        let _ = writeln!(out, "{name}_min {lo}");
+                        let _ = writeln!(out, "{name}_max {hi}");
+                    }
                 }
             }
         }
@@ -556,6 +628,70 @@ mod tests {
     }
 
     #[test]
+    fn histogram_tracks_exact_min_and_max() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().min(), None, "empty histogram has no extremes");
+        assert_eq!(h.snapshot().max(), None);
+        for v in [37u64, 5, 901, 5, 64] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.min(), Some(5));
+        assert_eq!(snap.max(), Some(901), "exact, not the bucket bound 1023");
+        assert!(snap.max().unwrap() <= snap.quantile(1.0));
+    }
+
+    #[test]
+    fn min_max_survive_shard_merges() {
+        // Three worker shards with disjoint ranges, one empty.
+        let a = Histogram::new();
+        a.record(100);
+        a.record(150);
+        let b = Histogram::new();
+        b.record(3);
+        let empty = Histogram::new();
+
+        // merge() on snapshots…
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        merged.merge(&empty.snapshot());
+        assert_eq!(merged.min(), Some(3));
+        assert_eq!(merged.max(), Some(150));
+
+        // …and absorb() into a live histogram agree.
+        let study = Histogram::new();
+        study.absorb(&a.snapshot());
+        study.absorb(&empty.snapshot());
+        study.absorb(&b.snapshot());
+        assert_eq!(study.snapshot().min(), Some(3));
+        assert_eq!(study.snapshot().max(), Some(150));
+        assert_eq!(study.snapshot(), merged);
+
+        // Absorbing only empties leaves the sentinels (still "no extremes").
+        let idle = Histogram::new();
+        idle.absorb(&empty.snapshot());
+        assert_eq!(idle.snapshot().min(), None);
+        assert_eq!(idle.snapshot().max(), None);
+    }
+
+    #[test]
+    fn delta_since_isolates_a_window() {
+        let h = Histogram::new();
+        h.record(10);
+        let before = h.snapshot();
+        h.record(1000);
+        h.record(2000);
+        let delta = h.snapshot().delta_since(&before);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum, 3000);
+        assert_eq!(delta.quantile(0.5), 1023, "only the window's buckets");
+        // Against a default (empty) baseline the delta is the snapshot's
+        // own buckets.
+        let full = h.snapshot().delta_since(&HistogramSnapshot::default());
+        assert_eq!(full.count(), 3);
+    }
+
+    #[test]
     fn absorb_sums_counters_and_buckets() {
         let worker = Registry::new();
         worker.counter("transport.retries").add(2);
@@ -598,6 +734,8 @@ mod tests {
         assert!(text.contains("crawl_attempts_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("crawl_attempts_sum 3"));
         assert!(text.contains("crawl_attempts_count 2"));
+        assert!(text.contains("crawl_attempts_min 1"));
+        assert!(text.contains("crawl_attempts_max 2"));
         // Sorted by name: crawl.* precedes transport.*.
         let crawl_at = text.find("crawl_attempts").unwrap();
         let transport_at = text.find("transport_requests").unwrap();

@@ -45,6 +45,54 @@ proptest! {
     }
 
     #[test]
+    fn min_max_are_exact_and_survive_merge(
+        a in proptest::collection::vec(any::<u64>(), 0..64),
+        b in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let shard_a = Histogram::new();
+        let shard_b = Histogram::new();
+        for &v in &a {
+            shard_a.record(v);
+        }
+        for &v in &b {
+            shard_b.record(v);
+        }
+        let mut merged = shard_a.snapshot();
+        merged.merge(&shard_b.snapshot());
+
+        let all: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged.min(), all.iter().min().copied());
+        prop_assert_eq!(merged.max(), all.iter().max().copied());
+
+        // Registry-style absorption tracks the same exact extrema.
+        let absorbed = Histogram::new();
+        absorbed.absorb(&shard_a.snapshot());
+        absorbed.absorb(&shard_b.snapshot());
+        prop_assert_eq!(absorbed.snapshot().min(), all.iter().min().copied());
+        prop_assert_eq!(absorbed.snapshot().max(), all.iter().max().copied());
+    }
+
+    #[test]
+    fn min_max_bracket_every_quantile(values in proptest::collection::vec(any::<u64>(), 1..64)) {
+        // Exact extrema tighten the bucketed quantiles on both ends: no
+        // quantile estimate may exceed the true max's bucket bound, and
+        // the recorded min is a floor on the smallest observation.
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let lo = snap.min().expect("non-empty");
+        let hi = snap.max().expect("non-empty");
+        prop_assert_eq!(lo, *values.iter().min().unwrap());
+        prop_assert_eq!(hi, *values.iter().max().unwrap());
+        prop_assert!(lo <= hi);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert!(snap.quantile(q) <= Histogram::bucket_bound(Histogram::bucket_index(hi)));
+        }
+    }
+
+    #[test]
     fn quantiles_monotone_in_q(values in proptest::collection::vec(any::<u64>(), 1..64)) {
         let h = Histogram::new();
         for &v in &values {
@@ -100,4 +148,6 @@ fn empty_histogram_quantiles_are_zero() {
     let snap = HistogramSnapshot::default();
     assert_eq!(snap.quantile(0.5), 0);
     assert_eq!(snap.count(), 0);
+    assert_eq!(snap.min(), None);
+    assert_eq!(snap.max(), None);
 }

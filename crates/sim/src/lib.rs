@@ -18,20 +18,26 @@
 //! * [`traffic`] — the million-visitor load-generator workload
 //!   ([`run_traffic`]), reporting throughput and latency percentiles
 //!   through `obs` histograms.
+//! * [`flight`] — the bounded [`FlightRecorder`] ring that freezes the
+//!   causal neighborhood of SLO violations into the journal.
 //!
 //! Everything is seeded and wall-clock-free: same seed ⇒ same event log,
 //! same report, bit for bit.
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod kernel;
 pub mod queue;
 pub mod service;
 pub mod traffic;
 pub mod transport;
 
+pub use flight::{FlightEvent, FlightKind, FlightRecorder, FlightSnapshot};
 pub use kernel::{Actor, ActorId, ActorSystem, Addressed, Outbox, SimClock};
 pub use queue::{EventId, EventQueue, SimTime};
 pub use service::{HostPool, ServiceModel};
-pub use traffic::{run_traffic, TierRow, TrafficConfig, TrafficReport};
+pub use traffic::{
+    run_traffic, TierRow, TimelineReport, TimelineSpec, TrafficConfig, TrafficReport,
+};
 pub use transport::{SimHandle, SimTransport};

@@ -32,11 +32,15 @@ use redlight_net::geoip::Country;
 use redlight_net::http::ResourceKind;
 use redlight_net::transport::{BrowserKind, Fault, FaultSpec, NetProfile, SimSpec};
 use redlight_net::url::Url;
-use redlight_obs::{Counter, Histogram, ObsContext, Registry, Tracer};
+use redlight_obs::{
+    Counter, Gauge, Histogram, ObsContext, Registry, SloEvent, SloTracker, Timeline, Tracer,
+};
 use redlight_rankings::PopularityTier;
+use redlight_report::figure::{self, Series};
 use redlight_report::table::{fmt_count, Table};
 use redlight_websim::{server::WebServer, World, WorldConfig};
 
+use crate::flight::{FlightEvent, FlightKind, FlightRecorder};
 use crate::kernel::{Actor, ActorId, ActorSystem, Outbox};
 use crate::queue::SimTime;
 use crate::service::{mix, HostPool, ServiceModel};
@@ -83,11 +87,14 @@ pub struct TrafficConfig {
     pub mean_interarrival: Duration,
     /// Sessions per tracer batch span.
     pub span_batch: u64,
+    /// Windowed timeline telemetry; `None` (the default) runs the bare
+    /// kernel with no tick hook installed.
+    pub timeline: Option<TimelineSpec>,
 }
 
 impl TrafficConfig {
     /// Defaults: tiny world, sim profile, 2 ms mean inter-arrival,
-    /// 10k-session span batches.
+    /// 10k-session span batches, no timeline.
     pub fn new(sessions: u64) -> Self {
         TrafficConfig {
             sessions,
@@ -96,6 +103,38 @@ impl TrafficConfig {
             net: NetProfile::default().with_sim(SimSpec::default()),
             mean_interarrival: Duration::from_millis(2),
             span_batch: 10_000,
+            timeline: None,
+        }
+    }
+}
+
+/// Configuration of the timeline telemetry a traffic run records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineSpec {
+    /// Logical width of one timeline window.
+    pub window: Duration,
+    /// Flight-recorder ring capacity (recent kernel events kept).
+    pub flight_capacity: usize,
+    /// Flight snapshots kept; later SLO trips are counted, not stored.
+    pub max_freezes: usize,
+}
+
+impl Default for TimelineSpec {
+    fn default() -> Self {
+        TimelineSpec {
+            window: Duration::from_secs(1),
+            flight_capacity: 96,
+            max_freezes: 4,
+        }
+    }
+}
+
+impl TimelineSpec {
+    /// A spec with the given window width and default flight settings.
+    pub fn with_window(window: Duration) -> Self {
+        TimelineSpec {
+            window,
+            ..TimelineSpec::default()
         }
     }
 }
@@ -261,6 +300,13 @@ struct Hooks {
     request_us: Histogram,
     page_us: Histogram,
     session_us: Histogram,
+    /// Sessions currently in flight (gauge, for the timeline).
+    in_flight: Gauge,
+    /// Requests currently queued behind host connection limits.
+    queue_depth: Gauge,
+    /// Deepest queue seen in the current timeline window (published at
+    /// window close from [`Peaks::window_peak_queue`]).
+    queue_peak: Gauge,
     tier_sessions: Vec<Counter>,
     tier_requests: Vec<Counter>,
     tier_request_us: Vec<Histogram>,
@@ -288,6 +334,9 @@ impl Hooks {
             request_us: registry.histogram("traffic.request_us"),
             page_us: registry.histogram("traffic.page_us"),
             session_us: registry.histogram("traffic.session_us"),
+            in_flight: registry.gauge("traffic.in_flight"),
+            queue_depth: registry.gauge("traffic.queue_depth"),
+            queue_peak: registry.gauge("traffic.queue_peak"),
             tier_sessions: tier("sessions")
                 .iter()
                 .map(|n| registry.counter(n))
@@ -310,6 +359,9 @@ struct Peaks {
     in_flight: u64,
     peak_in_flight: u64,
     peak_queue: usize,
+    /// Deepest queue seen since the current timeline window opened; reset
+    /// by the window sampler, untouched on bare runs.
+    window_peak_queue: usize,
 }
 
 /// One visitor session's live state.
@@ -345,9 +397,23 @@ struct LoadGen {
     peaks: Rc<RefCell<Peaks>>,
     tracer: Tracer,
     batch_open: bool,
+    /// Flight ring, shared with the fleet; `None` on bare runs.
+    flight: Option<Rc<RefCell<FlightRecorder>>>,
 }
 
 impl LoadGen {
+    fn flight_note(&self, at: SimTime, kind: FlightKind, slot: u32, attempt: u8) {
+        if let Some(rec) = &self.flight {
+            rec.borrow_mut().record(FlightEvent {
+                at,
+                kind,
+                slot,
+                host: u32::MAX,
+                attempt,
+            });
+        }
+    }
+
     fn backoff_before(&self, attempt: u32) -> Duration {
         // Materialized schedule (the policy itself lives in net); index 0
         // is attempt 2's pause.
@@ -452,6 +518,7 @@ impl LoadGen {
     fn teardown(&mut self, slot: u32) {
         self.free.push(slot);
         self.finished += 1;
+        self.hooks.in_flight.add(-1);
         let mut peaks = self.peaks.borrow_mut();
         peaks.in_flight -= 1;
         drop(peaks);
@@ -497,6 +564,8 @@ impl Actor<Ev> for LoadGen {
                 self.hooks.sessions.inc();
                 self.hooks.tier_sessions[self.universe.templates[site as usize].tier as usize]
                     .inc();
+                self.hooks.in_flight.add(1);
+                self.flight_note(now, FlightKind::Arrive, slot, 0);
                 {
                     let mut peaks = self.peaks.borrow_mut();
                     peaks.in_flight += 1;
@@ -533,9 +602,11 @@ impl Actor<Ev> for LoadGen {
                         let pause = self.backoff_before(attempt as u32 + 1);
                         self.hooks.retries.inc();
                         self.hooks.backoff_ns.add(pause.as_nanos() as u64);
+                        self.flight_note(now, FlightKind::Retry, session, attempt + 1);
                         self.send_doc(session, attempt + 1, pause, out);
                     } else {
                         self.hooks.sessions_failed.inc();
+                        self.flight_note(now, FlightKind::SessionFailed, session, attempt);
                         self.teardown(session);
                     }
                 } else {
@@ -561,9 +632,23 @@ struct HostFleet {
     fault_seed: u64,
     hooks: Hooks,
     peaks: Rc<RefCell<Peaks>>,
+    /// Flight ring, shared with the client; `None` on bare runs.
+    flight: Option<Rc<RefCell<FlightRecorder>>>,
 }
 
 impl HostFleet {
+    fn flight_note(&self, at: SimTime, kind: FlightKind, t: &Ticket) {
+        if let Some(rec) = &self.flight {
+            rec.borrow_mut().record(FlightEvent {
+                at,
+                kind,
+                slot: t.session,
+                host: t.host,
+                attempt: t.attempt,
+            });
+        }
+    }
+
     /// Decides a request's fate and its service duration. Fault identity
     /// is the ticket's `fkey`, so retries of the same request re-roll
     /// persistence exactly like `FaultTransport` does.
@@ -600,6 +685,7 @@ impl HostFleet {
         let (ok, service, faulted) = self.outcome(&t);
         if faulted {
             self.hooks.faults.inc();
+            self.flight_note(out.now(), FlightKind::Fault, &t);
         }
         out.send(self.me, service, Ev::Served { t, ok });
     }
@@ -612,13 +698,23 @@ impl Actor<Ev> for HostFleet {
                 t.enqueued = now;
                 self.hooks.requests.inc();
                 self.hooks.tier_requests[t.tier as usize].inc();
+                if self.flight.is_some() {
+                    let kind = if t.doc {
+                        FlightKind::DocRequest
+                    } else {
+                        FlightKind::SubRequest
+                    };
+                    self.flight_note(now, kind, &t);
+                }
                 let host = t.host as usize;
                 if let Some(admitted) = self.pools[host].admit(t) {
                     self.start(admitted, out);
                 } else {
+                    self.hooks.queue_depth.add(1);
                     let depth = self.pools[host].waiting();
                     let mut peaks = self.peaks.borrow_mut();
                     peaks.peak_queue = peaks.peak_queue.max(depth);
+                    peaks.window_peak_queue = peaks.window_peak_queue.max(depth);
                 }
             }
             Ev::Served { t, ok } => {
@@ -627,8 +723,12 @@ impl Actor<Ev> for HostFleet {
                 self.hooks.tier_request_us[t.tier as usize].record(us);
                 if !ok {
                     self.hooks.requests_failed.inc();
+                    self.flight_note(now, FlightKind::Failed, &t);
+                } else {
+                    self.flight_note(now, FlightKind::Served, &t);
                 }
                 if let Some(next) = self.pools[t.host as usize].complete() {
+                    self.hooks.queue_depth.add(-1);
                     self.start(next, out);
                 }
                 out.send(
@@ -646,6 +746,70 @@ impl Actor<Ev> for HostFleet {
                 unreachable!("client-addressed event")
             }
         }
+    }
+}
+
+/// The timeline runtime: the recorder plus SLO tracking and the flight
+/// ring, driven from the kernel tick hook.
+struct TimelineRt {
+    tl: Timeline,
+    tracker: SloTracker,
+    flight: Rc<RefCell<FlightRecorder>>,
+    req_ix: usize,
+    fail_ix: usize,
+    lat_ix: usize,
+    queue_peak: Gauge,
+    peaks: Rc<RefCell<Peaks>>,
+}
+
+impl TimelineRt {
+    /// Publishes the closing window's peak queue depth, then resets the
+    /// accumulator so the next window starts from the current depth.
+    fn publish_queue_peak(&mut self) {
+        let mut peaks = self.peaks.borrow_mut();
+        self.queue_peak.set(peaks.window_peak_queue as i64);
+        peaks.window_peak_queue = 0;
+    }
+
+    /// Feeds the most recent row to the SLO tracker; violations entered
+    /// this window freeze the flight ring.
+    fn post_window(&mut self) {
+        let row = self.tl.windows().last().expect("a row was just closed");
+        let (window, end_ns) = (row.index, row.end_ns);
+        let total = row.counters[self.req_ix];
+        let bad = row.counters[self.fail_ix];
+        let p99 = row.hists[self.lat_ix].p99;
+        let before = self.tracker.events().len();
+        self.tracker
+            .observe(window, total.saturating_sub(bad), bad, p99);
+        for i in before..self.tracker.events().len() {
+            let ev = self.tracker.events()[i];
+            if ev.entered {
+                self.flight.borrow_mut().freeze(
+                    ev.kind.label(),
+                    ev.window,
+                    SimTime::from_nanos(end_ns),
+                );
+            }
+        }
+    }
+
+    /// Closes the next full window.
+    fn close_full_window(&mut self) {
+        self.publish_queue_peak();
+        self.tl.sample_window();
+        self.post_window();
+    }
+
+    /// Seals the series with the final partial window at `end_ns` (full
+    /// windows up to it were already closed by the tick hook).
+    fn finish(&mut self, end_ns: u64) {
+        while end_ns >= self.tl.next_boundary() {
+            self.close_full_window();
+        }
+        self.publish_queue_peak();
+        self.tl.finish(end_ns);
+        self.post_window();
     }
 }
 
@@ -710,9 +874,104 @@ pub struct TrafficReport {
     pub events: u64,
     /// Per-popularity-tier breakdown.
     pub tiers: Vec<TierRow>,
+    /// Timeline telemetry, present when the run configured a
+    /// [`TimelineSpec`].
+    pub timeline: Option<TimelineReport>,
     /// Real wall time of the run — the one non-deterministic field; never
     /// rendered by [`TrafficReport::render`].
     pub wall: Duration,
+}
+
+/// The timeline side of a traffic run: the windowed series, the SLO
+/// transitions and the flight-recorder outcome. All logical, all
+/// deterministic in the seed.
+#[derive(Debug, Clone)]
+pub struct TimelineReport {
+    /// Window width the run sampled at.
+    pub window: Duration,
+    /// The sealed series recorder.
+    pub timeline: Timeline,
+    /// Every SLO transition, in window order.
+    pub slo_events: Vec<SloEvent>,
+    /// Flight snapshots frozen (≤ the spec's `max_freezes`).
+    pub flight_freezes: usize,
+    /// SLO trips past the snapshot cap (counted, not stored).
+    pub flight_suppressed: u64,
+}
+
+impl TimelineReport {
+    /// JSON-lines export: the timeline's `meta` + `window` lines, one
+    /// `slo` line per transition, and a final `flight` summary line.
+    pub fn json_lines(&self) -> String {
+        let mut out = self.timeline.json_lines();
+        for ev in &self.slo_events {
+            out.push_str(&format!(
+                "{{\"type\":\"slo\",\"window\":{},\"kind\":\"{}\",\"entered\":{},\
+                 \"burn_x100\":{},\"value\":{}}}\n",
+                ev.window,
+                ev.kind.label(),
+                ev.entered,
+                ev.burn_x100,
+                ev.value
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"type\":\"flight\",\"freezes\":{},\"suppressed\":{}}}\n",
+            self.flight_freezes, self.flight_suppressed
+        ));
+        out
+    }
+
+    /// CSV export of the windowed series (plot-ready; one row per window).
+    pub fn csv(&self) -> String {
+        self.timeline.csv()
+    }
+
+    /// Terminal sparkline summary of the headline series.
+    pub fn render(&self) -> String {
+        let tl = &self.timeline;
+        let as_f64 = |v: Vec<u64>| v.into_iter().map(|x| x as f64).collect::<Vec<_>>();
+        let series = vec![
+            Series::new(
+                "requests / window",
+                as_f64(tl.counter_series("traffic.requests").unwrap_or_default()),
+            ),
+            Series::new(
+                "request p99 (µs)",
+                tl.hist_series("traffic.request_us")
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|h| h.p99 as f64)
+                    .collect(),
+            ),
+            Series::new(
+                "in-flight sessions",
+                tl.gauge_series("traffic.in_flight")
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|&v| v as f64)
+                    .collect(),
+            ),
+            Series::new(
+                "peak host queue",
+                tl.gauge_series("traffic.queue_peak")
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|&v| v as f64)
+                    .collect(),
+            ),
+        ];
+        let mut out = figure::render("Timeline", &series, 64);
+        out.push_str(&format!(
+            "windows: {} × {:.3} s   SLO transitions: {}   flight freezes: {} ({} suppressed)\n",
+            tl.windows().len(),
+            self.window.as_secs_f64(),
+            self.slo_events.len(),
+            self.flight_freezes,
+            self.flight_suppressed,
+        ));
+        out
+    }
 }
 
 impl TrafficReport {
@@ -835,6 +1094,54 @@ pub fn run_traffic(config: &TrafficConfig, obs: &ObsContext) -> TrafficReport {
     tracer.attr("sites", universe.templates.len() as u64);
     tracer.attr("hosts", universe.hosts as u64);
 
+    // Timeline runtime: tracked series, SLO tracker, flight ring. Absent
+    // on bare runs, whose kernel then has no tick hook at all.
+    let timeline_rt: Option<Rc<RefCell<TimelineRt>>> = config.timeline.as_ref().map(|tspec| {
+        let mut tl = Timeline::new(tspec.window);
+        for name in [
+            "traffic.sessions",
+            "traffic.sessions_completed",
+            "traffic.sessions_failed",
+            "traffic.pages",
+            "traffic.requests",
+            "traffic.requests_failed",
+            "traffic.retries",
+            "traffic.faults_injected",
+        ] {
+            tl.track_counter(&obs.metrics, name);
+        }
+        for i in 0..PopularityTier::ALL.len() {
+            tl.track_counter(&obs.metrics, &format!("traffic.requests.tier{i}"));
+        }
+        for name in [
+            "traffic.in_flight",
+            "traffic.queue_depth",
+            "traffic.queue_peak",
+        ] {
+            tl.track_gauge(&obs.metrics, name);
+        }
+        tl.track_histogram(&obs.metrics, "traffic.request_us");
+        let policy = config.net.slo.unwrap_or_default().policy();
+        Rc::new(RefCell::new(TimelineRt {
+            req_ix: tl.counter_index("traffic.requests").expect("tracked"),
+            fail_ix: tl
+                .counter_index("traffic.requests_failed")
+                .expect("tracked"),
+            lat_ix: tl.hist_index("traffic.request_us").expect("tracked"),
+            tl,
+            tracker: SloTracker::new(policy),
+            flight: Rc::new(RefCell::new(FlightRecorder::new(
+                tspec.flight_capacity,
+                tspec.max_freezes,
+            ))),
+            queue_peak: hooks.queue_peak.clone(),
+            peaks: Rc::clone(&peaks),
+        }))
+    });
+    let flight_handle = timeline_rt
+        .as_ref()
+        .map(|rt| Rc::clone(&rt.borrow().flight));
+
     let (client_id, fleet_id) = (ActorId(0), ActorId(1));
     let retry = &config.net.retry;
     let retry_backoff: Vec<Duration> = (2..=retry.max_attempts.max(1))
@@ -860,6 +1167,7 @@ pub fn run_traffic(config: &TrafficConfig, obs: &ObsContext) -> TrafficReport {
         peaks: Rc::clone(&peaks),
         tracer,
         batch_open: false,
+        flight: flight_handle.clone(),
     };
     let fleet = HostFleet {
         me: fleet_id,
@@ -872,18 +1180,62 @@ pub fn run_traffic(config: &TrafficConfig, obs: &ObsContext) -> TrafficReport {
         fault_seed: config.net.fault_seed,
         hooks: hooks.clone(),
         peaks: Rc::clone(&peaks),
+        flight: flight_handle,
     };
 
     let mut sys = ActorSystem::new();
     assert_eq!(sys.add_actor(Box::new(client)), client_id);
     assert_eq!(sys.add_actor(Box::new(fleet)), fleet_id);
+    if let Some(rt) = &timeline_rt {
+        let rt = Rc::clone(rt);
+        // Sampling happens with the clock advanced to the event's delivery
+        // time but before dispatch, so a window's row covers exactly the
+        // events strictly inside it — deterministic in the schedule.
+        sys.set_tick_hook(move |now| {
+            let now_ns = now.as_nanos();
+            let mut rt = rt.borrow_mut();
+            while now_ns >= rt.tl.next_boundary() {
+                rt.close_full_window();
+            }
+        });
+    }
     if config.sessions > 0 {
         sys.send(client_id, SimTime::ZERO, Ev::Arrive);
     }
     let wall_start = std::time::Instant::now();
     let (end, events) = sys.run();
     let wall = wall_start.elapsed();
-    drop(sys); // commits the tracer shard
+    drop(sys); // commits the tracer shard and releases the tick hook
+
+    let timeline = timeline_rt.map(|rt| {
+        let mut rt = Rc::try_unwrap(rt)
+            .ok()
+            .expect("tick hook dropped with the kernel")
+            .into_inner();
+        rt.finish(end.as_nanos());
+        // SLO transitions become journal spans; frozen flight snapshots
+        // attach their causal neighborhoods next to them. Both tracers are
+        // no-ops when spans are disabled.
+        let mut slo_tracer = obs.trace.tracer("traffic.slo");
+        for ev in rt.tracker.events() {
+            slo_tracer.open(&format!("slo.{}", ev.kind.label()));
+            slo_tracer.attr("window", ev.window);
+            slo_tracer.attr("entered", ev.entered);
+            slo_tracer.attr("burn_x100", ev.burn_x100);
+            slo_tracer.attr("value", ev.value);
+            slo_tracer.close();
+        }
+        slo_tracer.finish();
+        let flight = rt.flight.borrow();
+        flight.emit_spans(&obs.trace, "traffic.flight");
+        TimelineReport {
+            window: Duration::from_nanos(rt.tl.window_ns()),
+            slo_events: rt.tracker.events().to_vec(),
+            flight_freezes: flight.snapshots().len(),
+            flight_suppressed: flight.suppressed(),
+            timeline: rt.tl.clone(),
+        }
+    });
 
     let request_us = hooks.request_us.snapshot();
     let page_us = hooks.page_us.snapshot();
@@ -925,6 +1277,7 @@ pub fn run_traffic(config: &TrafficConfig, obs: &ObsContext) -> TrafficReport {
         hosts: universe.hosts,
         events,
         tiers,
+        timeline,
         wall,
     }
 }
@@ -988,5 +1341,62 @@ mod tests {
             stormy.makespan,
             healthy.makespan
         );
+    }
+
+    #[test]
+    fn timeline_windows_sum_to_the_final_counters() {
+        let mut config = tiny_config(200);
+        config.timeline = Some(TimelineSpec::with_window(Duration::from_millis(250)));
+        let report = run_traffic(&config, &ObsContext::new());
+        let tl = report.timeline.as_ref().expect("timeline configured");
+        assert!(tl.timeline.is_finished());
+        assert!(!tl.timeline.windows().is_empty());
+        let sum = |name: &str| -> u64 {
+            tl.timeline
+                .counter_series(name)
+                .expect("tracked")
+                .iter()
+                .sum()
+        };
+        assert_eq!(sum("traffic.requests"), report.requests);
+        assert_eq!(sum("traffic.sessions"), report.sessions);
+        assert_eq!(sum("traffic.pages"), report.pages);
+        // The report's own renders never change shape because a timeline
+        // rode along.
+        let bare = run_traffic(&tiny_config(200), &ObsContext::new());
+        assert_eq!(bare.render(), report.render());
+        assert_eq!(bare.render_table(), report.render_table());
+    }
+
+    #[test]
+    fn timeline_flags_slo_violations_and_freezes_flights() {
+        let mut config = tiny_config(400);
+        config.net = NetProfile::named("flaky")
+            .unwrap()
+            .with_sim(SimSpec::default());
+        // An unmeetable latency objective guarantees transitions.
+        config.net.slo = Some(redlight_net::transport::SloSpec {
+            latency_p99_us: 1,
+            ..Default::default()
+        });
+        config.timeline = Some(TimelineSpec::with_window(Duration::from_millis(500)));
+        let obs = ObsContext::new();
+        let report = run_traffic(&config, &obs);
+        let tl = report.timeline.as_ref().expect("timeline configured");
+        assert!(
+            tl.slo_events.iter().any(|e| e.entered),
+            "1µs p99 objective must trip"
+        );
+        assert!(tl.flight_freezes > 0, "entering a violation freezes");
+        let journal = obs.trace.journal();
+        assert!(journal.find("slo.latency").is_some(), "SLO span exported");
+        assert!(
+            journal.find("flight.freeze.000").is_some(),
+            "flight snapshot exported"
+        );
+        let lines = tl.json_lines();
+        assert!(lines.contains("\"type\":\"slo\""));
+        assert!(lines.contains("\"type\":\"flight\""));
+        assert!(tl.render().contains("requests / window"));
     }
 }

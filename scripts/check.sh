@@ -113,4 +113,52 @@ assert "transport_requests" in prom, "metrics exposition lacks transport counter
 print(f"exporters OK: {begins} spans, {len(prom.splitlines())} metric lines")
 PYEOF
 
+echo "==> timeline bench smoke (--test mode, JSON keys validated)"
+cargo bench -p redlight-bench --bench timeline -- --test
+python3 - <<'PYEOF'
+import json
+doc = json.load(open("BENCH_timeline.json"))
+assert doc["bench"] == "timeline", doc
+rows = doc["rows"]
+assert rows, "timeline bench produced no rows"
+keys = {
+    "sessions", "events", "windows", "slo_events", "flight_freezes",
+    "base_events_per_sec", "timeline_events_per_sec", "overhead_pct",
+}
+for row in rows:
+    missing = keys - row.keys()
+    assert not missing, f"timeline row lacks {sorted(missing)}"
+    assert row["sessions"] > 0 and row["windows"] > 0, row
+    assert row["base_events_per_sec"] > 0 and row["timeline_events_per_sec"] > 0, row
+print(f"timeline OK: {len(rows)} row(s), {rows[0]['windows']} windows")
+PYEOF
+
+echo "==> timeline export smoke (traffic run, JSON-lines + CSV validated)"
+cargo run --release -q -p redlight-bench --bin reproduce -- \
+  --traffic 2000 --seed 11 --timeline "$OBS_DIR/timeline.jsonl"
+python3 - "$OBS_DIR" <<'PYEOF'
+import csv, json, sys
+d = sys.argv[1]
+lines = [json.loads(l) for l in open(f"{d}/timeline.jsonl") if l.strip()]
+assert lines and lines[0]["type"] == "meta", "first line must be the meta row"
+meta = lines[0]
+for key in ("window_ns", "windows", "counters", "gauges", "histograms",
+            "histogram_minmax"):
+    assert key in meta, f"meta row lacks {key}"
+windows = [l for l in lines if l["type"] == "window"]
+assert len(windows) == meta["windows"], "meta window count must match rows"
+for w in windows:
+    assert set(w["counters"]) == set(meta["counters"]), w
+    assert set(w["gauges"]) == set(meta["gauges"]), w
+    assert set(w["histograms"]) == set(meta["histograms"]), w
+total = sum(w["counters"]["traffic.requests"] for w in windows)
+assert total > 0, "windowed request deltas must be non-trivial"
+tail_types = {l["type"] for l in lines} - {"meta", "window"}
+assert "flight" in tail_types, "flight summary line missing"
+rows = list(csv.DictReader(open(f"{d}/timeline.csv")))
+assert len(rows) == len(windows), "CSV rows must mirror the JSON windows"
+assert sum(int(r["traffic.requests"]) for r in rows) == total, "CSV != JSONL"
+print(f"timeline export OK: {len(windows)} windows, {total} requests")
+PYEOF
+
 echo "OK"
